@@ -1,0 +1,75 @@
+"""Fig. 7 — STREAM bandwidth across transports, platforms and sizes."""
+
+import pytest
+
+from repro.apps.stream import run_stream
+from repro.figures.fig7_stream import format_fig7, paper_comparison, run_fig7
+from repro.perf.reporting import ratio_to_paper
+
+
+def _bw(points, platform, protocol, size):
+    for p in points:
+        if (p.platform, p.protocol, p.size_mb) == (platform, protocol, size):
+            return p.result.bandwidth_mbs
+    raise AssertionError(f"missing point {platform}/{protocol}/{size}")
+
+
+def test_fig7_full_sweep(benchmark, record_table):
+    points = benchmark.pedantic(
+        lambda: run_fig7(iterations=15), rounds=1, iterations=1
+    )
+    assert len(points) == 27  # 3 platforms x 3 protocols x 3 sizes
+
+    # Paper finding 1: RDMA > MPI > gRPC on Tegner for every size/placement.
+    for platform in ("Tegner GPU", "Tegner CPU"):
+        for size in (2, 16, 128):
+            assert (_bw(points, platform, "RDMA", size)
+                    > _bw(points, platform, "MPI", size)
+                    > _bw(points, platform, "gRPC", size))
+
+    # Paper finding 2: >50% of the 12 GB/s theoretical on host memory.
+    assert _bw(points, "Tegner CPU", "RDMA", 128) > 0.5 * 12 * 1000
+
+    # Paper finding 3: K420 GPU path saturates near 1300 MB/s.
+    assert 1000 < _bw(points, "Tegner GPU", "RDMA", 128) < 1500
+
+    # Paper finding 4: Kebnekaise K80 RDMA saturates below 2300 MB/s.
+    assert 1700 < _bw(points, "Kebnekaise GPU", "RDMA", 128) < 2300
+
+    # Paper finding 5: MPI plateaus in the hundreds of MB/s.
+    assert 250 < _bw(points, "Tegner GPU", "MPI", 128) < 420
+    assert 300 < _bw(points, "Kebnekaise GPU", "MPI", 128) < 600
+
+    # Paper finding 6: on Kebnekaise gRPC is comparable to MPI.
+    grpc = _bw(points, "Kebnekaise GPU", "gRPC", 128)
+    mpi = _bw(points, "Kebnekaise GPU", "MPI", 128)
+    assert grpc == pytest.approx(mpi, rel=0.6)
+
+    # Small transfers lose bandwidth to latency on every platform.
+    for platform in ("Tegner GPU", "Tegner CPU", "Kebnekaise GPU"):
+        assert _bw(points, platform, "RDMA", 2) < _bw(points, platform, "RDMA", 128)
+
+    record_table(
+        "fig7_stream.txt", format_fig7(points) + "\n\n" + paper_comparison(points)
+    )
+
+
+@pytest.mark.parametrize("protocol", ["grpc", "grpc+mpi", "grpc+verbs"])
+def test_fig7_single_protocol_tegner_gpu(benchmark, protocol):
+    """Per-protocol micro-benchmark (one bar of Fig. 7, 128 MB)."""
+    result = benchmark.pedantic(
+        lambda: run_stream("tegner-k420", device="gpu", size_mb=128,
+                           protocol=protocol, iterations=10),
+        rounds=1, iterations=1,
+    )
+    assert result.bandwidth_mbs > 0
+
+
+def test_fig7_concrete_mode_validates(benchmark):
+    """Numerics check: the concrete STREAM run accumulates correctly."""
+    result = benchmark.pedantic(
+        lambda: run_stream("tegner-k420", device="cpu", size_mb=1,
+                           iterations=5, shape_only=False),
+        rounds=1, iterations=1,
+    )
+    assert result.validated

@@ -1,0 +1,27 @@
+"""Table I — deployment configurations, regenerated from the models."""
+
+from repro.figures.table1_nodes import (
+    format_table1,
+    run_table1,
+    topology_diagram,
+)
+
+
+def test_table1_nodes(benchmark, record_table):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    by_type = {r["node_type"]: r for r in rows}
+    # The paper's Table I, row by row.
+    assert by_type["Tegner K420"]["instances"] == 1
+    assert by_type["Tegner K420"]["gpu_memory_gb"] == 1
+    assert by_type["Tegner K80"]["instances"] == 2
+    assert by_type["Tegner K80"]["gpu_memory_gb"] == 12
+    assert by_type["Kebnekaise K80"]["instances"] == 4
+    assert by_type["Kebnekaise K80"]["gpu_memory_gb"] == 12
+    assert by_type["Kebnekaise V100"]["instances"] == 2
+    assert by_type["Kebnekaise V100"]["gpu_memory_gb"] == 16
+    # Every instance gets exactly one GPU engine.
+    assert all(r["gpus_per_instance"] == 1 for r in rows)
+    record_table(
+        "table1_nodes.txt",
+        format_table1(rows) + "\n\n" + topology_diagram(),
+    )

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Spectral analysis with the distributed FFT application.
+
+A noisy signal with three hidden tones is split into interleaved tiles,
+transformed by simulated GPU workers (paper Fig. 6), recombined with
+twiddle factors by the merger, and the tones are recovered from the
+spectrum. Also demonstrates the paper's headline caveat: the serial
+Python merge takes longer than the distributed compute.
+
+Run:  python examples/spectral_fft.py
+"""
+
+import numpy as np
+
+from repro.apps.fft import run_fft
+
+
+def main() -> None:
+    n = 1 << 12
+    tones = [(37, 1.0), (441, 0.6), (1337, 0.35)]  # (bin, amplitude)
+    rng = np.random.default_rng(0)
+    t = np.arange(n)
+    signal = sum(
+        amp * np.exp(2j * np.pi * freq * t / n) for freq, amp in tones
+    )
+    signal = signal + 0.05 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+
+    print(f"signal: {n} samples, tones hidden at bins "
+          f"{[f for f, _ in tones]}\n")
+
+    result = run_fft(
+        system="tegner-k80",
+        n=n,
+        num_tiles=8,
+        num_gpus=4,
+        shape_only=False,
+        signal=signal,
+    )
+    print(f"distributed FFT validated against numpy.fft: {result.validated}")
+    print(f"collect phase (distributed): {result.collect_seconds * 1e3:8.2f} ms "
+          f"of simulated time")
+    print(f"merge phase (serial Python): {result.merge_seconds * 1e3:8.2f} ms "
+          f"-> the paper's bottleneck")
+
+    magnitude = np.abs(result.spectrum)
+    found = np.argsort(magnitude)[::-1][:len(tones)]
+    print(f"\nstrongest spectral bins found: {sorted(int(b) for b in found)}")
+    expected = sorted(f for f, _ in tones)
+    recovered = sorted(int(b) for b in found)
+    print(f"expected tone bins:            {expected}")
+    print(f"all tones recovered: {recovered == expected}")
+
+    # Strong-scaling flavour: same transform on more simulated GPUs.
+    print("\nstrong scaling (shape-only, paper-size tiles):")
+    for gpus in (2, 4, 8):
+        r = run_fft(system="tegner-k80", n=1 << 26, num_tiles=64,
+                    num_gpus=gpus, shape_only=True)
+        print(f"  {gpus} GPUs: collect {r.collect_seconds:6.2f} s "
+              f"({r.gflops:5.2f} Gflops/s)")
+
+
+if __name__ == "__main__":
+    main()

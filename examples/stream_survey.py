@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Survey communication bandwidth across transports (paper Fig. 7).
+
+Runs the TF-STREAM micro-benchmark over gRPC, MPI and RDMA-verbs on both
+simulated machines and prints the figure as a table, including the
+paper-vs-measured comparison for every number the paper states.
+
+Run:  python examples/stream_survey.py
+"""
+
+from repro.figures.fig7_stream import format_fig7, paper_comparison, run_fig7
+
+
+def main() -> None:
+    print("running 27 STREAM configurations (3 platforms x 3 protocols "
+          "x 3 sizes)...\n")
+    points = run_fig7(iterations=25)
+    print(format_fig7(points))
+    print()
+    print(paper_comparison(points))
+    print("\nReading guide (paper Section VI-A):")
+    print("  - RDMA wins everywhere; on Tegner host memory it exceeds half")
+    print("    of EDR's 12 GB/s theoretical bandwidth.")
+    print("  - GPU-resident tensors saturate at the PCIe staging rate.")
+    print("  - MPI pays a copy+serialize through host memory (no GPUDirect).")
+    print("  - Tegner's gRPC resolves over 1GbE management Ethernet; on")
+    print("    Kebnekaise gRPC rides IPoIB and lands near MPI.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""The paper's four HPC applications, written against the public API.
+
+Each app follows the paper's "data-driven" formulation (Section IV):
+datasets of tile indices, GPU compute, FIFO-queue reducers/mergers, and
+parameter-server state. Every app runs in *concrete* mode (real NumPy
+numerics, validated against references) or *shape-only* mode (paper-scale
+problems; the DES clock produces the performance numbers).
+"""
+
+from repro.apps.cg import CGResult, run_cg
+from repro.apps.common import ClusterHandle, build_cluster
+from repro.apps.fft import FFTResult, run_fft
+from repro.apps.matmul import MatmulResult, run_matmul
+from repro.apps.stream import StreamResult, run_stream
+
+__all__ = [
+    "ClusterHandle",
+    "build_cluster",
+    "run_stream",
+    "StreamResult",
+    "run_matmul",
+    "MatmulResult",
+    "run_cg",
+    "CGResult",
+    "run_fft",
+    "FFTResult",
+]

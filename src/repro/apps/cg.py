@@ -1,0 +1,330 @@
+"""Distributed Conjugate Gradient solver (paper Section IV, Fig. 5).
+
+The SPD system ``A x = b`` is split into horizontal row blocks, one per
+worker; each worker keeps its block and its slices of ``x``/``r`` in
+persistent variables on its GPU (the paper's workaround for the 2 GB
+GraphDef limit: only the loop *body* is a graph, state lives in
+variables). Per iteration:
+
+* local matvec ``q_w = A_w p`` on the worker's GPU;
+* two scalar reductions (``p·q`` and ``r·r``) through queue-based
+  reducers (Fig. 5's two-queue pattern);
+* an allgather of the updated ``p`` slices through a gather queue, with
+  the concatenation done in NumPy on the reducer task (the paper uses
+  NumPy for "merging and other auxiliary operations").
+
+Computation is double precision, as in the paper, and checkpoint/restart
+is supported through :class:`repro.core.checkpoint.Saver`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+import repro as tf
+from repro.apps.common import ClusterHandle, build_cluster
+from repro.core.checkpoint import Saver
+from repro.core.tensor import SymbolicValue
+from repro.errors import InvalidArgumentError
+from repro.runtime.sync import QueueReducer
+
+__all__ = ["run_cg", "CGResult", "make_spd_problem"]
+
+
+@dataclass
+class CGResult:
+    """Outcome of one CG configuration."""
+
+    system: str
+    n: int
+    num_gpus: int
+    iterations: int
+    elapsed: float  # simulated seconds, iteration loop only
+    residual: float  # ||b - A x|| / ||b|| (concrete mode only)
+    validated: bool
+    checkpoint_path: Optional[str] = None
+    solution: Optional[np.ndarray] = None  # assembled x (concrete mode)
+
+    @property
+    def flops(self) -> float:
+        """The paper's convention: iterations * 2 * N^2 (matvec only)."""
+        return self.iterations * 2.0 * float(self.n) ** 2
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.elapsed / 1e9
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.elapsed / self.iterations
+
+
+def make_spd_problem(n: int, seed: int = 0):
+    """A well-conditioned SPD system (for concrete validation runs)."""
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    a = m @ m.T / n + np.eye(n) * 2.0
+    b = rng.standard_normal(n)
+    return a, b
+
+
+def _store_problem(fs, n, num_gpus, shape_only, seed, problem=None):
+    rows = n // num_gpus
+    if shape_only:
+        for w in range(num_gpus):
+            fs.declare_file(f"cg_A_{w}.npy", (rows, n), "float64")
+            fs.declare_file(f"cg_b_{w}.npy", (rows,), "float64")
+        return None, None
+    if problem is not None:
+        a, b = problem
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape != (n, n) or b.shape != (n,):
+            raise InvalidArgumentError(
+                f"problem shapes {a.shape}/{b.shape} do not match n={n}"
+            )
+    else:
+        a, b = make_spd_problem(n, seed)
+    for w in range(num_gpus):
+        fs.store_array(f"cg_A_{w}.npy", a[w * rows:(w + 1) * rows])
+        fs.store_array(f"cg_b_{w}.npy", b[w * rows:(w + 1) * rows])
+    return a, b
+
+
+def run_cg(
+    system: str = "kebnekaise-v100",
+    n: int = 512,
+    num_gpus: int = 2,
+    iterations: int = 500,
+    protocol: str = "grpc+verbs",
+    shape_only: bool = True,
+    seed: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume_dir: Optional[str] = None,
+    cluster: Optional[ClusterHandle] = None,
+    problem=None,
+) -> CGResult:
+    """Run the distributed CG solver.
+
+    Args:
+        n: matrix dimension (paper: 16384, 32768, 65536).
+        num_gpus: worker count == row blocks (must divide n).
+        iterations: fixed iteration count (paper: 500).
+        checkpoint_dir/checkpoint_every: snapshot worker state every k
+            iterations (concrete mode).
+        resume_dir: restore worker state from checkpoints and skip setup.
+        problem: optional concrete ``(A, b)`` pair (e.g. a discretized PDE,
+            the paper's motivating CG use case); defaults to a random SPD
+            system.
+    """
+    if n % num_gpus != 0:
+        raise InvalidArgumentError(f"num_gpus {num_gpus} must divide n {n}")
+    rows = n // num_gpus
+    handle = cluster or build_cluster(
+        system, {"reducer": 1, "worker": num_gpus}, protocol=protocol
+    )
+    env = handle.env
+    fs = handle.filesystem
+    a_full, b_full = _store_problem(fs, n, num_gpus, shape_only, seed,
+                                    problem=problem)
+
+    g = tf.Graph(seed=seed)
+    reducer_device = "/job:reducer/task:0/device:cpu:0"
+    with g.as_default():
+        pq_red = QueueReducer(num_gpus, dtype=tf.float64, device=reducer_device,
+                              name="pq", graph=g)
+        rs_red = QueueReducer(num_gpus, dtype=tf.float64, device=reducer_device,
+                              name="rs", graph=g)
+        with g.device(reducer_device):
+            gather_in = tf.FIFOQueue(num_gpus, [tf.int64, tf.float64],
+                                     shapes=[[], [rows]], name="gather_in")
+            gather_out = tf.FIFOQueue(num_gpus, [tf.float64], shapes=[[n]],
+                                      name="gather_out")
+            full_p_feed = tf.placeholder(tf.float64, shape=[n], name="full_p")
+            # One session run broadcasts all copies (Fig. 5: "a number of
+            # copies equivalent to the total number of workers will be
+            # pushed into the queue").
+            gather_bcast = tf.group(
+                *[gather_out.enqueue(full_p_feed, name=f"bcast_{w}")
+                  for w in range(num_gpus)],
+                name="bcast", graph=g,
+            )
+            gather_pops = [gather_in.dequeue(name=f"collect_{w}")
+                           for w in range(num_gpus)]
+
+        setup_ops, step_ops, rs_fetches, savers = [], [], [], []
+        x_vars = []
+        for w in range(num_gpus):
+            dev = f"/job:worker/task:{w}/device:gpu:0"
+            with g.device(dev), g.name_scope(f"worker{w}"):
+                a_var = tf.Variable(
+                    tf.zeros([rows, n], dtype=tf.float64, graph=g), name="A")
+                x_var = tf.Variable(
+                    tf.zeros([rows], dtype=tf.float64, graph=g), name="x")
+                r_var = tf.Variable(
+                    tf.zeros([rows], dtype=tf.float64, graph=g), name="r")
+                p_var = tf.Variable(
+                    tf.zeros([n], dtype=tf.float64, graph=g), name="p")
+                rs_var = tf.Variable(
+                    tf.zeros([], dtype=tf.float64, graph=g), name="rs_old")
+                x_vars.append(x_var)
+
+                # ---- setup: load the block, r0 = b, p0 = gather(b) ------
+                a_tile = tf.read_tile("cg_A_{0}.npy", [w], dtype=tf.float64,
+                                      shape=[rows, n], name="loadA")
+                b_tile = tf.read_tile("cg_b_{0}.npy", [w], dtype=tf.float64,
+                                      shape=[rows], name="loadb")
+                load_a = tf.assign(a_var, a_tile)
+                init_x = tf.assign(x_var, tf.zeros([rows], dtype=tf.float64,
+                                                   graph=g))
+                init_r = tf.assign(r_var, b_tile)
+                rs0_partial = tf.dot(init_r, init_r, name="rs0_partial")
+                rs0 = rs_red.worker_reduce(rs0_partial, name="rs0")
+                init_rs = tf.assign(rs_var, rs0)
+                send_b = gather_in.enqueue(
+                    [tf.constant(w, dtype=tf.int64), init_r], name="send_b")
+                with g.control_dependencies([send_b]):
+                    full_b = gather_out.dequeue(name="recv_p0")
+                init_p = tf.assign(p_var, full_b)
+                setup_ops.append(tf.group(
+                    load_a.op, init_x.op, init_rs.op, init_p.op,
+                    name="setup", graph=g))
+
+                # ---- one CG iteration (the loop body as a graph) --------
+                p_read = p_var.value()
+                rs_read = rs_var.value()
+                q = tf.matmul(a_var.value(), p_read, name="q")
+                p_slice = tf.slice_(p_read, [w * rows], [rows], name="p_slice")
+                pq_partial = tf.dot(p_slice, q, name="pq_partial")
+                pq = pq_red.worker_reduce(pq_partial, name="pq")
+                alpha = tf.divide(rs_read, pq, name="alpha")
+                new_x = tf.assign_add(x_var, tf.multiply(alpha, p_slice))
+                new_r = tf.assign_sub(r_var, tf.multiply(alpha, q))
+                rs_partial = tf.dot(new_r, new_r, name="rs_partial")
+                rs_new = rs_red.worker_reduce(rs_partial, name="rs")
+                beta = tf.divide(rs_new, rs_read, name="beta")
+                new_p_slice = tf.add(new_r, tf.multiply(beta, p_slice),
+                                     name="new_p_slice")
+                send_p = gather_in.enqueue(
+                    [tf.constant(w, dtype=tf.int64), new_p_slice],
+                    name="send_p")
+                with g.control_dependencies([send_p]):
+                    full_p = gather_out.dequeue(name="recv_p")
+                # Order the state writes after the reads they supersede.
+                with g.control_dependencies([p_read.op, q.op]):
+                    store_p = tf.assign(p_var, full_p)
+                with g.control_dependencies([rs_read.op, alpha.op, beta.op]):
+                    store_rs = tf.assign(rs_var, rs_new)
+                step_ops.append(tf.group(
+                    new_x.op, store_p.op, store_rs.op, name="step", graph=g))
+                rs_fetches.append(rs_new)
+            savers.append(
+                Saver([a_var, x_var, r_var, p_var, rs_var], graph=g)
+                if (checkpoint_dir or resume_dir) else None
+            )
+        reducer_steps = tf.group(pq_red.reducer_step(), rs_red.reducer_step(),
+                                 name="reduce_round", graph=g)
+        rs_only_step = rs_red.reducer_step(name="rs_round")
+
+    shape_cfg = tf.SessionConfig(shape_only=shape_only)
+    worker_sessions = [
+        tf.Session(handle.server("worker", w), graph=g, config=shape_cfg)
+        for w in range(num_gpus)
+    ]
+    reducer_session = tf.Session(handle.server("reducer", 0), graph=g,
+                                 config=shape_cfg)
+    reducer_node = handle.server("reducer", 0).runtime.node
+    state = {"loop_start": None, "loop_end": None, "last_rs": None,
+             "ready": 0, "done": 0}
+    # The timed region is the iteration loop only: workers barrier after
+    # setup (their block loads straggle on shared NICs) and the clock stops
+    # when the last worker completes its final iteration.
+    start_barrier = env.event()
+
+    def gather_round():
+        """Reducer side of one allgather: collect, concat in NumPy, bcast."""
+        pairs = yield from reducer_session.run_gen(
+            [t for pair in gather_pops for t in pair])
+        # Assemble the full vector on the reducer host (NumPy concat).
+        yield env.timeout(n * 8 / reducer_node.cpu.model.python_bytes_rate)
+        if shape_only:
+            full = SymbolicValue((n,), tf.float64)
+        else:
+            slices = {}
+            for w in range(num_gpus):
+                idx = int(pairs[2 * w])
+                slices[idx] = pairs[2 * w + 1]
+            full = np.concatenate([slices[w] for w in range(num_gpus)])
+        yield from reducer_session.run_gen(
+            gather_bcast, feed_dict={full_p_feed: full})
+
+    def reducer_proc():
+        if resume_dir is None:
+            # Setup round: one rs reduction + one gather of b.
+            yield from reducer_session.run_gen(rs_only_step)
+            yield from gather_round()
+        for _ in range(iterations):
+            yield from reducer_session.run_gen(reducer_steps)
+            yield from gather_round()
+
+    def worker_proc(w: int):
+        sess = worker_sessions[w]
+        if resume_dir is not None:
+            yield from savers[w].restore_gen(
+                sess, os.path.join(resume_dir, f"cg_w{w}")
+            )
+        else:
+            yield from sess.run_gen(setup_ops[w])
+        state["ready"] += 1
+        if state["ready"] == num_gpus:
+            state["loop_start"] = env.now
+            start_barrier.succeed()
+        yield start_barrier
+        for it in range(iterations):
+            _, rs_value = yield from sess.run_gen([step_ops[w], rs_fetches[w]])
+            if w == 0:
+                state["last_rs"] = rs_value
+            if (checkpoint_dir and checkpoint_every
+                    and (it + 1) % checkpoint_every == 0):
+                yield from savers[w].save_gen(
+                    sess, os.path.join(checkpoint_dir, f"cg_w{w}")
+                )
+        state["done"] += 1
+        if state["done"] == num_gpus:
+            state["loop_end"] = env.now
+
+    procs = [env.process(worker_proc(w)) for w in range(num_gpus)]
+    procs.append(env.process(reducer_proc()))
+    for proc in procs:
+        env.run(until=proc)
+    elapsed = state["loop_end"] - state["loop_start"]
+
+    residual = float("nan")
+    validated = False
+    x = None
+    if not shape_only:
+        x = np.concatenate([ws.run(xv) for ws, xv in zip(worker_sessions, x_vars)])
+        if a_full is None:
+            a_full, b_full = problem if problem is not None else make_spd_problem(n, seed)
+        residual = float(
+            np.linalg.norm(b_full - a_full @ x) / np.linalg.norm(b_full)
+        )
+        validated = bool(residual < 1e-6) if iterations >= n // 4 else bool(
+            residual < 1.0
+        )
+    return CGResult(
+        system=system,
+        n=n,
+        num_gpus=num_gpus,
+        iterations=iterations,
+        elapsed=elapsed,
+        residual=residual,
+        validated=validated,
+        checkpoint_path=checkpoint_dir,
+        solution=x if not shape_only else None,
+    )

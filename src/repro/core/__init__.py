@@ -1,0 +1,19 @@
+"""The TF-like deferred-execution dataflow engine.
+
+This package is the substrate the paper's applications are written against:
+graphs of operations connected by tensors, executed through sessions on
+(simulated) heterogeneous devices.
+"""
+
+from repro.core.graph import Graph, Operation, get_default_graph, reset_default_graph
+from repro.core.tensor import SymbolicValue, Tensor, TensorShape
+
+__all__ = [
+    "Graph",
+    "Operation",
+    "Tensor",
+    "TensorShape",
+    "SymbolicValue",
+    "get_default_graph",
+    "reset_default_graph",
+]

@@ -1,0 +1,141 @@
+"""tfdbg-lite: inspect tensor values flowing through a session.
+
+Wrap any session; every ``run`` additionally fetches the outputs of ops
+matching the watch patterns, records them in a dump, and applies tensor
+filters (e.g. :func:`has_inf_or_nan`) — the workflow TF's ``tfdbg`` gives
+on the command line, reduced to a library.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.session import Session
+from repro.core.tensor import SymbolicValue, Tensor
+from repro.errors import InternalError
+
+__all__ = ["DebugSession", "DebugDump", "DumpEntry", "has_inf_or_nan"]
+
+
+def has_inf_or_nan(tensor_name: str, value) -> bool:
+    """The classic tfdbg filter: any non-finite element?"""
+    if isinstance(value, SymbolicValue):
+        return False
+    arr = np.asarray(value)
+    if not np.issubdtype(arr.dtype, np.floating) and not np.issubdtype(
+        arr.dtype, np.complexfloating
+    ):
+        return False
+    return bool(np.any(~np.isfinite(arr)))
+
+
+@dataclass
+class DumpEntry:
+    """One recorded tensor value."""
+
+    run_index: int
+    tensor_name: str
+    op_type: str
+    value: object
+    triggered_filters: list = field(default_factory=list)
+
+
+class DebugDump:
+    """All tensors recorded across a debug session's runs."""
+
+    def __init__(self):
+        self.entries: list[DumpEntry] = []
+
+    def tensors(self, pattern: str = "*") -> list[DumpEntry]:
+        return [e for e in self.entries if fnmatch.fnmatch(e.tensor_name, pattern)]
+
+    def find_triggered(self, filter_name: str) -> list[DumpEntry]:
+        return [e for e in self.entries if filter_name in e.triggered_filters]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class DebugSession:
+    """A session wrapper that watches tensors matching name patterns."""
+
+    def __init__(
+        self,
+        session: Session,
+        watch_patterns: Sequence[str] = ("*",),
+        tensor_filters: Optional[dict[str, Callable]] = None,
+        break_on_filter: bool = False,
+    ):
+        self._session = session
+        self._patterns = list(watch_patterns)
+        self._filters = dict(tensor_filters or {})
+        self._break = break_on_filter
+        self.dump = DebugDump()
+        self._run_index = 0
+
+    @property
+    def graph(self):
+        return self._session.graph
+
+    @property
+    def env(self):
+        return self._session.env
+
+    def add_tensor_filter(self, name: str, fn: Callable) -> None:
+        self._filters[name] = fn
+
+    def _watched_tensors(self, fetches) -> list[Tensor]:
+        # Watch only ops that can feed the fetched subgraph to avoid
+        # running unrelated (possibly blocking) ops.
+        structure, fetch_ops, fetch_tensors = self._session._parse_fetches(fetches)
+        needed: set[str] = set()
+        stack = list(fetch_ops) + [t.op for t in fetch_tensors]
+        while stack:
+            op = stack.pop()
+            if op.name in needed:
+                continue
+            needed.add(op.name)
+            stack.extend(t.op for t in op.inputs)
+            stack.extend(op.control_inputs)
+        watched = []
+        for op in self._session.graph.operations:
+            if op.name not in needed:
+                continue
+            if not any(fnmatch.fnmatch(op.name, p) for p in self._patterns):
+                continue
+            watched.extend(op.outputs)
+        return watched
+
+    def run(self, fetches, feed_dict=None, **kwargs):
+        watched = self._watched_tensors(fetches)
+        combined = list(watched)
+        single = not isinstance(fetches, (list, tuple))
+        user_fetches = [fetches] if single else list(fetches)
+        combined.extend(user_fetches)
+        values = self._session.run(combined, feed_dict=feed_dict, **kwargs)
+        watch_values = values[: len(watched)]
+        user_values = values[len(watched):]
+        for tensor, value in zip(watched, watch_values):
+            triggered = [
+                name for name, fn in self._filters.items() if fn(tensor.name, value)
+            ]
+            self.dump.entries.append(
+                DumpEntry(
+                    run_index=self._run_index,
+                    tensor_name=tensor.name,
+                    op_type=tensor.op.type,
+                    value=value,
+                    triggered_filters=triggered,
+                )
+            )
+            if triggered and self._break:
+                raise InternalError(
+                    f"Debugger filter(s) {triggered} triggered on "
+                    f"{tensor.name} at run {self._run_index}"
+                )
+        self._run_index += 1
+        return user_values[0] if single else user_values

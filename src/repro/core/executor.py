@@ -1,0 +1,312 @@
+"""Per-item execution on the discrete-event simulator.
+
+Every plan :class:`~repro.core.partition.Item` becomes one simulation
+process. Dependencies are expressed by waiting on the producer items'
+processes; device serialization happens through the device's
+:class:`~repro.simnet.resources.Resource`; cross-device movement goes
+through the run's :class:`~repro.runtime.rendezvous.Rendezvous` with
+transport costs charged by :mod:`repro.simnet.transports`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.kernels.registry import Cost, KernelContext, get_kernel
+from repro.core.metadata import NodeStats, RunMetadata, TransferStats
+from repro.core.partition import FEED, ExecutionPlan, Item, _job_task_of
+from repro.core.tensor import value_nbytes
+from repro.errors import InternalError
+from repro.simnet import transports
+from repro.simnet.events import AllOf, Environment
+
+__all__ = ["ExecutionState", "launch_plan"]
+
+# Ops that block on external conditions and must not occupy a device slot
+# while waiting (a blocked dequeue would otherwise starve the device).
+_NO_DEVICE_HOLD = {
+    "QueueEnqueue",
+    "QueueDequeue",
+    "QueueSize",
+    "QueueClose",
+    "NoOp",
+}
+
+# Stateful ops whose outputs alias resource-manager storage: their output
+# memory is accounted once per variable, not per execution.
+_VARIABLE_OPS = {"VariableV2", "Assign", "AssignAdd", "AssignSub"}
+
+
+@dataclass
+class _Allocation:
+    pool: Any
+    nbytes: int
+    remaining_consumers: int
+    freed: bool = False
+
+
+class ExecutionState:
+    """Shared state of one session run."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: ExecutionPlan,
+        rendezvous,
+        task_runtimes: dict,
+        protocol: str,
+        feeds: dict[str, Any],
+        symbolic: bool,
+        run_id: int,
+        graph_seed: Optional[int],
+        metadata: Optional[RunMetadata] = None,
+        trace: bool = False,
+    ):
+        self.env = env
+        self.plan = plan
+        self.rendezvous = rendezvous
+        self.task_runtimes = task_runtimes
+        self.protocol = protocol
+        self.feeds = feeds
+        self.symbolic = symbolic
+        self.run_id = run_id
+        self.graph_seed = graph_seed
+        self.metadata = metadata
+        self.trace = trace
+        self._allocations: dict[tuple[int, int], _Allocation] = {}
+        self._var_memory: dict[str, tuple[Any, int]] = {}
+
+    # -- resolution ------------------------------------------------------------
+    def task_runtime(self, device: str):
+        job, task = _job_task_of(device)
+        try:
+            return self.task_runtimes[(job, task)]
+        except KeyError:
+            raise InternalError(
+                f"No runtime for task /job:{job}/task:{task}"
+            ) from None
+
+    def device_obj(self, device: str):
+        return self.task_runtime(device).device(device)
+
+    def memory_pool(self, device: str):
+        return self.task_runtime(device).memory_pools[device]
+
+    # -- memory refcounting -------------------------------------------------------
+    def register_outputs(self, item: Item, outputs: list) -> int:
+        """Allocate device memory for an item's outputs; returns bytes."""
+        is_variable = item.kind == "op" and item.op.type in _VARIABLE_OPS
+        pool = self.memory_pool(item.device)
+        total = 0
+        if is_variable:
+            # Alias of the variable's persistent storage: account once.
+            var_name = (
+                item.op.get_attr("var_name") or item.op.name
+                if item.op.type != "VariableV2"
+                else item.op.name
+            )
+            task = self.task_runtime(item.device)
+            nbytes = sum(value_nbytes(v) for v in outputs)
+            previous = task.resources.variables.get("__mem__" + var_name)
+            if previous is None or previous[1] != nbytes:
+                if previous is not None:
+                    previous[0].free(previous[1])
+                pool.allocate(nbytes)
+                task.resources.variables["__mem__" + var_name] = (pool, nbytes)
+            return nbytes
+        for idx, value in enumerate(outputs):
+            nbytes = value_nbytes(value)
+            total += nbytes
+            consumers = (
+                item.consumer_counts[idx] if idx < len(item.consumer_counts) else 0
+            )
+            pool.allocate(nbytes)
+            alloc = _Allocation(pool, nbytes, consumers)
+            self._allocations[(item.uid, idx)] = alloc
+            if consumers == 0:
+                # Dead output: freed as soon as it was produced.
+                alloc.freed = True
+                pool.free(nbytes)
+        return total
+
+    def consume(self, producer: Item, idx: int) -> None:
+        alloc = self._allocations.get((producer.uid, idx))
+        if alloc is None or alloc.freed:
+            return
+        alloc.remaining_consumers -= 1
+        if alloc.remaining_consumers <= 0:
+            alloc.freed = True
+            alloc.pool.free(alloc.nbytes)
+
+    def release_all(self) -> None:
+        """Free whatever survived the run (fetched values, errors)."""
+        for alloc in self._allocations.values():
+            if not alloc.freed:
+                alloc.freed = True
+                alloc.pool.free(alloc.nbytes)
+        self._allocations.clear()
+
+    # -- value plumbing -----------------------------------------------------------
+    def resolve_source(self, source) -> Any:
+        head, idx = source
+        if head is FEED:
+            return self.feeds[idx]
+        if head.out_values is None:
+            raise InternalError(f"Source {head!r} has not produced values")
+        return head.out_values[idx]
+
+
+def launch_plan(state: ExecutionState) -> list:
+    """Spawn one process per plan item; returns the process list."""
+    processes = []
+    for item in state.plan.items:
+        proc = state.env.process(
+            _item_proc(state, item), name=f"item:{item.uid}"
+        )
+        item.process = proc
+        processes.append(proc)
+    return processes
+
+
+def _dependencies(item: Item) -> list:
+    deps = []
+    seen = set()
+    for source in item.sources:
+        if source[0] is not FEED:
+            producer = source[0]
+            if producer.uid not in seen:
+                seen.add(producer.uid)
+                deps.append(producer.process)
+    for dep in item.extra_deps:
+        if dep.uid not in seen:
+            seen.add(dep.uid)
+            deps.append(dep.process)
+    return deps
+
+
+def _is_double_precision(op) -> bool:
+    for tensor in (*op.outputs, *op.inputs):
+        if tensor.dtype.size >= 8 and (
+            tensor.dtype.is_floating or tensor.dtype.is_complex
+        ):
+            return True
+    return False
+
+
+def _item_proc(state: ExecutionState, item: Item):
+    env = state.env
+    deps = _dependencies(item)
+    if deps:
+        yield AllOf(env, deps)
+    if item.kind == "send":
+        yield from _run_send(state, item)
+    elif item.kind == "recv":
+        yield from _run_recv(state, item)
+    else:
+        yield from _run_op(state, item)
+
+
+def _run_send(state: ExecutionState, item: Item):
+    env = state.env
+    if item.sources:
+        value = state.resolve_source(item.sources[0])
+        nbytes = value_nbytes(value)
+    else:
+        value, nbytes = None, 0  # control edge
+    src_dev = state.device_obj(item.device)
+    dst_dev = state.device_obj(item.dst_device)
+    start = env.now
+    yield from transports.transfer(src_dev, dst_dev, nbytes, state.protocol)
+    state.rendezvous.send(item.key, value)
+    if item.sources:
+        producer, idx = item.sources[0]
+        state.consume(producer, idx)
+    if state.trace and state.metadata is not None:
+        state.metadata.transfers.append(
+            TransferStats(
+                key=item.key,
+                src_device=item.device,
+                dst_device=item.dst_device,
+                nbytes=nbytes,
+                start=start,
+                end=env.now,
+                protocol=state.protocol,
+            )
+        )
+    item.out_values = []
+
+
+def _run_recv(state: ExecutionState, item: Item):
+    value = yield state.rendezvous.recv(item.key)
+    item.out_values = [value]
+    if value is not None:
+        state.register_outputs(item, [value])
+
+
+def _run_op(state: ExecutionState, item: Item):
+    env = state.env
+    op = item.op
+    device = state.device_obj(item.device)
+    task = state.task_runtime(item.device)
+    kernel = get_kernel(op.type)
+    inputs = [state.resolve_source(s) for s in item.sources]
+    ctx = KernelContext(
+        symbolic=state.symbolic,
+        feeds=state.feeds,
+        resources=task.resources,
+        env=env,
+        device=device,
+        worker=task,
+        run_id=state.run_id,
+        graph_seed=state.graph_seed,
+    )
+    hold_device = op.type not in _NO_DEVICE_HOLD
+    request = None
+    start = env.now
+    try:
+        if hold_device:
+            request = device.resource.request()
+            yield request
+        result = kernel(op, inputs, ctx)
+        if inspect.isgenerator(result):
+            result = yield from result
+        outputs, cost = result
+        seconds = 0.0
+        if cost.kind in ("compute", "memcpy", "io"):
+            seconds = device.time_for_cost(
+                cost, op.type, _is_double_precision(op)
+            )
+        if seconds > 0:
+            if cost.host_bytes > 0:
+                # Host-side Python work serializes on the task's GIL.
+                gil_req = task.gil.request()
+                yield gil_req
+                try:
+                    yield env.timeout(seconds)
+                finally:
+                    task.gil.release(gil_req)
+            else:
+                yield env.timeout(seconds)
+    finally:
+        if request is not None:
+            device.resource.release(request)
+    # Outputs are live before inputs can be released: the kernel's working
+    # set holds both (this is what makes big tiles tight on a 1 GB K420).
+    item.out_values = outputs
+    state.register_outputs(item, outputs)
+    for source in item.sources:
+        if source[0] is not FEED:
+            state.consume(source[0], source[1])
+    if state.trace and state.metadata is not None:
+        state.metadata.step_stats.append(
+            NodeStats(
+                device=item.device,
+                op_name=op.name,
+                op_type=op.type,
+                start=start,
+                end=env.now,
+                out_bytes=sum(value_nbytes(v) for v in outputs),
+            )
+        )

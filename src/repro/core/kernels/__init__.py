@@ -1,0 +1,11 @@
+"""Kernel registry and runtime state containers."""
+
+from repro.core.kernels.registry import (
+    Cost,
+    KernelContext,
+    ResourceManager,
+    get_kernel,
+    register_kernel,
+)
+
+__all__ = ["Cost", "KernelContext", "ResourceManager", "get_kernel", "register_kernel"]

@@ -1,0 +1,146 @@
+"""Kernel registry, cost accounting, and per-task runtime state.
+
+A *kernel* implements one op type. Its signature is::
+
+    kernel(op, inputs, ctx) -> (outputs, Cost)
+
+where ``inputs``/``outputs`` are lists of runtime values (ndarrays or
+:class:`~repro.core.tensor.SymbolicValue`). A kernel may instead be a
+*generator* that yields DES events (for blocking ops such as queue dequeue
+or file I/O) and finally returns the same ``(outputs, Cost)`` pair.
+
+The :class:`Cost` describes the work done; the executing device model
+converts it to simulated time. Kernels never sleep on their own except by
+yielding events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import NotFoundError, UnimplementedError
+
+__all__ = [
+    "Cost",
+    "KernelContext",
+    "ResourceManager",
+    "register_kernel",
+    "get_kernel",
+    "has_kernel",
+    "supported_device_types",
+]
+
+
+@dataclass
+class Cost:
+    """Resource demand of one kernel execution.
+
+    Attributes:
+        flops: floating point operations performed on the device.
+        mem_bytes: device-memory bytes streamed (drives memory-bound ops).
+        io_bytes: parallel-filesystem bytes moved (tile load/store).
+        host_bytes: bytes processed by host Python/NumPy (merge loops); the
+            paper shows these serial host phases dominating the FFT app.
+        kind: "compute" | "memcpy" | "io" | "sync" | "none". "sync" ops do
+            not occupy the device while they block.
+    """
+
+    flops: float = 0.0
+    mem_bytes: float = 0.0
+    io_bytes: float = 0.0
+    host_bytes: float = 0.0
+    kind: str = "compute"
+
+    @staticmethod
+    def none() -> "Cost":
+        return Cost(kind="none")
+
+    @staticmethod
+    def sync() -> "Cost":
+        return Cost(kind="sync")
+
+
+class ResourceManager:
+    """Stateful resources owned by one task (server): variables, queues,
+    dataset iterators, and saved RNG lanes.
+
+    In TensorFlow these live in the C++ runtime's per-worker resource
+    manager, which is why variables placed on a parameter server persist
+    across sessions — the same semantics apply here.
+    """
+
+    def __init__(self, name: str = "local"):
+        self.name = name
+        self.variables: dict[str, Any] = {}
+        self.queues: dict[str, Any] = {}
+        self.iterators: dict[str, Any] = {}
+        self.rng_counters: dict[str, int] = {}
+
+    def next_rng_counter(self, op_name: str) -> int:
+        value = self.rng_counters.get(op_name, 0)
+        self.rng_counters[op_name] = value + 1
+        return value
+
+    def clear(self) -> None:
+        self.variables.clear()
+        self.queues.clear()
+        self.iterators.clear()
+        self.rng_counters.clear()
+
+
+@dataclass
+class KernelContext:
+    """Everything a kernel may need at execution time."""
+
+    symbolic: bool = False
+    feeds: dict[str, Any] = field(default_factory=dict)
+    resources: ResourceManager = field(default_factory=ResourceManager)
+    env: Any = None  # simnet Environment, None in pure-eager unit tests
+    device: Any = None  # simulated device executing the op
+    worker: Any = None  # TaskRuntime: node/machine access for io kernels
+    run_id: int = 0
+    graph_seed: Optional[int] = None
+
+    def filesystem(self):
+        """The simulated parallel filesystem, if a machine is attached."""
+        if self.worker is not None and getattr(self.worker, "node", None) is not None:
+            return self.worker.node.machine.filesystem
+        return None
+
+
+_KERNELS: dict[str, Callable] = {}
+_DEVICE_SUPPORT: dict[str, tuple[str, ...]] = {}
+
+
+def register_kernel(op_type: str, devices: tuple[str, ...] = ("cpu", "gpu")):
+    """Class/function decorator registering a kernel for ``op_type``.
+
+    ``devices`` lists device types with an implementation; placement uses
+    it for soft-placement decisions (ops with CPU-only kernels fall back to
+    the host, mirroring TF soft device placement).
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        if op_type in _KERNELS:
+            raise UnimplementedError(f"Duplicate kernel registration: {op_type}")
+        _KERNELS[op_type] = fn
+        _DEVICE_SUPPORT[op_type] = tuple(devices)
+        return fn
+
+    return wrap
+
+
+def get_kernel(op_type: str) -> Callable:
+    try:
+        return _KERNELS[op_type]
+    except KeyError:
+        raise NotFoundError(f"No kernel registered for op type {op_type!r}") from None
+
+
+def has_kernel(op_type: str) -> bool:
+    return op_type in _KERNELS
+
+
+def supported_device_types(op_type: str) -> tuple[str, ...]:
+    return _DEVICE_SUPPORT.get(op_type, ("cpu", "gpu"))

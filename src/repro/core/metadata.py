@@ -1,0 +1,86 @@
+"""Run metadata: per-op execution statistics and transfer records.
+
+The analog of TF's ``RunMetadata``/``StepStats``, consumed by
+:mod:`repro.core.timeline` to produce Chrome-trace visualisations like the
+paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["NodeStats", "TransferStats", "RunMetadata", "RunOptions"]
+
+
+@dataclass
+class RunOptions:
+    """Per-run options (trace collection)."""
+
+    trace_level: int = 0  # 0 = NO_TRACE, 1 = FULL_TRACE
+
+    NO_TRACE = 0
+    FULL_TRACE = 1
+
+
+@dataclass
+class NodeStats:
+    """Timing of one op execution on one device."""
+
+    device: str
+    op_name: str
+    op_type: str
+    start: float  # simulated seconds
+    end: float
+    out_bytes: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TransferStats:
+    """One cross-device tensor movement."""
+
+    key: str
+    src_device: str
+    dst_device: str
+    nbytes: int
+    start: float
+    end: float
+    protocol: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bytes/second (0 for instantaneous/zero-byte moves)."""
+        if self.end <= self.start:
+            return 0.0
+        return self.nbytes / (self.end - self.start)
+
+
+@dataclass
+class RunMetadata:
+    """Everything recorded during one session run."""
+
+    step_stats: list[NodeStats] = field(default_factory=list)
+    transfers: list[TransferStats] = field(default_factory=list)
+    start_time: float = 0.0
+    end_time: float = 0.0
+
+    @property
+    def wall_time(self) -> float:
+        return self.end_time - self.start_time
+
+    def stats_for_device(self, device: str) -> list[NodeStats]:
+        return [s for s in self.step_stats if s.device == device]
+
+    def total_bytes_transferred(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    def busiest_ops(self, n: int = 10) -> list[NodeStats]:
+        return sorted(self.step_stats, key=lambda s: s.duration, reverse=True)[:n]

@@ -1,0 +1,79 @@
+"""Operation builders.
+
+Importing this package registers every kernel. The flat namespace mirrors
+the small slice of the TF 1.x API the paper's applications use.
+"""
+
+from repro.core.ops import (  # noqa: F401  (import for kernel registration)
+    array_ops,
+    control_flow,
+    data_ops,
+    io_ops,
+    math_ops,
+    queue_ops,
+    random_ops,
+    signal_ops,
+    state_ops,
+)
+from repro.core.ops.array_ops import (
+    cast,
+    concat,
+    constant,
+    expand_dims,
+    fill,
+    identity,
+    ones,
+    placeholder,
+    reshape,
+    slice_,
+    split,
+    squeeze,
+    stack,
+    transpose,
+    zeros,
+    zeros_like,
+)
+from repro.core.ops.control_flow import group, no_op
+from repro.core.ops.data_ops import Dataset
+from repro.core.ops.io_ops import read_tile, write_tile
+from repro.core.ops.math_ops import (
+    add,
+    add_n,
+    divide,
+    dot,
+    matmul,
+    maximum,
+    minimum,
+    multiply,
+    negative,
+    reduce_max,
+    reduce_mean,
+    reduce_sum,
+    sqrt,
+    square,
+    subtract,
+)
+from repro.core.ops.queue_ops import FIFOQueue
+from repro.core.ops.random_ops import random_normal, random_uniform
+from repro.core.ops.signal_ops import fft, ifft
+from repro.core.ops.state_ops import (
+    Variable,
+    assign,
+    assign_add,
+    assign_sub,
+    global_variables_initializer,
+)
+
+__all__ = [
+    "constant", "placeholder", "identity", "cast", "reshape", "transpose",
+    "concat", "split", "stack", "squeeze", "expand_dims", "fill", "zeros",
+    "ones", "zeros_like", "slice_",
+    "add", "subtract", "multiply", "divide", "negative", "square", "sqrt",
+    "maximum", "minimum", "matmul", "dot", "add_n", "reduce_sum",
+    "reduce_mean", "reduce_max",
+    "random_uniform", "random_normal",
+    "Variable", "assign", "assign_add", "assign_sub",
+    "global_variables_initializer",
+    "FIFOQueue", "Dataset", "read_tile", "write_tile",
+    "fft", "ifft", "group", "no_op",
+]

@@ -1,0 +1,548 @@
+"""Array manipulation ops: constants, placeholders, reshaping, layout."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import dtypes
+from repro.core.graph import Graph
+from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.ops.common import (
+    any_symbolic,
+    graph_of,
+    make_symbolic,
+    runtime_shape,
+    runtime_spec,
+    to_tensor,
+)
+from repro.core.tensor import SymbolicValue, Tensor, TensorShape, as_shape
+from repro.errors import InvalidArgumentError
+
+__all__ = [
+    "constant",
+    "placeholder",
+    "identity",
+    "cast",
+    "reshape",
+    "transpose",
+    "concat",
+    "split",
+    "stack",
+    "squeeze",
+    "expand_dims",
+    "fill",
+    "zeros",
+    "ones",
+    "zeros_like",
+    "slice_",
+]
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+def constant(value: Any, dtype=None, shape=None, name: str = "Const",
+             graph: Optional[Graph] = None) -> Tensor:
+    """An immutable tensor holding ``value``."""
+    g = graph_of(graph=graph)
+    arr = np.asarray(value)
+    if dtype is not None:
+        arr = arr.astype(dtypes.as_dtype(dtype).np_dtype)
+    elif not isinstance(value, (np.ndarray, np.generic)):
+        # Python literals default to float32/int32, as in TF. NumPy arrays
+        # and scalars keep their explicit dtype.
+        if arr.dtype == np.float64:
+            arr = arr.astype(np.float32)
+        elif arr.dtype == np.int64:
+            arr = arr.astype(np.int32)
+    if shape is not None:
+        arr = np.broadcast_to(arr, as_shape(shape).as_tuple()).copy()
+    arr.setflags(write=False)
+    op = g.create_op(
+        "Const",
+        inputs=[],
+        output_specs=[(dtypes.as_dtype(arr.dtype), TensorShape(arr.shape))],
+        attrs={"value": arr},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def placeholder(dtype, shape=None, name: str = "Placeholder",
+                graph: Optional[Graph] = None) -> Tensor:
+    """A tensor whose value is supplied per run through ``feed_dict``."""
+    g = graph_of(graph=graph)
+    op = g.create_op(
+        "Placeholder",
+        inputs=[],
+        output_specs=[(dtypes.as_dtype(dtype), as_shape(shape))],
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def identity(value, name: str = "Identity") -> Tensor:
+    """Pass-through; useful to pin a copy of a tensor onto a device."""
+    x = to_tensor(value)
+    op = x.graph.create_op(
+        "Identity",
+        inputs=[x],
+        output_specs=[(x.dtype, x.shape)],
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def cast(value, dtype, name: str = "Cast") -> Tensor:
+    x = to_tensor(value)
+    target = dtypes.as_dtype(dtype)
+    op = x.graph.create_op(
+        "Cast",
+        inputs=[x],
+        output_specs=[(target, x.shape)],
+        attrs={"dst_dtype": target.name},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def reshape(value, shape: Sequence[int], name: str = "Reshape") -> Tensor:
+    x = to_tensor(value)
+    new_shape = [int(d) for d in shape]
+    if new_shape.count(-1) > 1:
+        raise InvalidArgumentError("reshape allows at most one -1 dimension")
+    static: list[Optional[int]] = []
+    known = 1
+    for d in new_shape:
+        if d == -1:
+            static.append(None)
+        else:
+            static.append(d)
+            known *= d
+    if -1 in new_shape and x.shape.is_fully_defined:
+        total = x.shape.num_elements()
+        if total % known != 0:
+            raise InvalidArgumentError(
+                f"Cannot reshape {x.shape} ({total} elements) into {new_shape}"
+            )
+        static[new_shape.index(-1)] = total // known
+    elif x.shape.is_fully_defined and x.shape.num_elements() != known:
+        raise InvalidArgumentError(
+            f"Cannot reshape {x.shape} into {new_shape}: element count differs"
+        )
+    op = x.graph.create_op(
+        "Reshape",
+        inputs=[x],
+        output_specs=[(x.dtype, TensorShape(static))],
+        attrs={"shape": tuple(new_shape)},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def transpose(value, perm: Optional[Sequence[int]] = None, name: str = "Transpose") -> Tensor:
+    x = to_tensor(value)
+    rank = x.shape.rank
+    if perm is None:
+        if rank is None:
+            raise InvalidArgumentError("transpose of unknown-rank tensor needs perm")
+        perm = tuple(reversed(range(rank)))
+    perm = tuple(int(p) for p in perm)
+    if rank is not None:
+        if sorted(perm) != list(range(rank)):
+            raise InvalidArgumentError(f"Bad permutation {perm} for rank {rank}")
+        out_shape = TensorShape([x.shape[p] for p in perm])
+    else:
+        out_shape = TensorShape(None)
+    op = x.graph.create_op(
+        "Transpose",
+        inputs=[x],
+        output_specs=[(x.dtype, out_shape)],
+        attrs={"perm": perm},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def concat(values: Sequence[Any], axis: int, name: str = "Concat") -> Tensor:
+    tensors = [to_tensor(v) for v in values]
+    if not tensors:
+        raise InvalidArgumentError("concat of an empty list")
+    g = tensors[0].graph
+    dtype = tensors[0].dtype
+    for t in tensors[1:]:
+        if t.dtype != dtype:
+            raise InvalidArgumentError(
+                f"concat dtype mismatch: {dtype.name} vs {t.dtype.name}"
+            )
+    rank = next((t.shape.rank for t in tensors if t.shape.rank is not None), None)
+    if rank is None:
+        out_shape = TensorShape(None)
+    else:
+        ax = axis % rank
+        dims: list[Optional[int]] = list(tensors[0].shape.with_rank(rank).dims)
+        total: Optional[int] = 0
+        for t in tensors:
+            s = t.shape.with_rank(rank)
+            for i in range(rank):
+                if i == ax:
+                    continue
+                if dims[i] is None:
+                    dims[i] = s[i]
+                elif s[i] is not None and s[i] != dims[i]:
+                    raise InvalidArgumentError(
+                        f"concat shapes disagree on dim {i}: {dims[i]} vs {s[i]}"
+                    )
+            if total is not None:
+                total = None if s[ax] is None else total + s[ax]
+        dims[ax] = total
+        out_shape = TensorShape(dims)
+    op = g.create_op(
+        "Concat",
+        inputs=tensors,
+        output_specs=[(dtype, out_shape)],
+        attrs={"axis": axis},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def split(value, num_splits: int, axis: int = 0, name: str = "Split") -> list[Tensor]:
+    x = to_tensor(value)
+    rank = x.shape.rank
+    if rank is None:
+        out_shape = TensorShape(None)
+        out_shapes = [out_shape] * num_splits
+    else:
+        ax = axis % rank
+        dims = list(x.shape.dims)
+        if dims[ax] is not None:
+            if dims[ax] % num_splits != 0:
+                raise InvalidArgumentError(
+                    f"Dimension {dims[ax]} not divisible into {num_splits} splits"
+                )
+            dims[ax] = dims[ax] // num_splits
+        out_shapes = [TensorShape(dims)] * num_splits
+    op = x.graph.create_op(
+        "Split",
+        inputs=[x],
+        output_specs=[(x.dtype, s) for s in out_shapes],
+        attrs={"axis": axis, "num_splits": num_splits},
+        name=name,
+    )
+    return list(op.outputs)
+
+
+def stack(values: Sequence[Any], axis: int = 0, name: str = "Stack") -> Tensor:
+    tensors = [to_tensor(v) for v in values]
+    if not tensors:
+        raise InvalidArgumentError("stack of an empty list")
+    base = tensors[0].shape
+    for t in tensors[1:]:
+        base = base.merge_with(t.shape)
+    if base.dims is None:
+        out_shape = TensorShape(None)
+    else:
+        dims = list(base.dims)
+        ax = axis % (len(dims) + 1)
+        dims.insert(ax, len(tensors))
+        out_shape = TensorShape(dims)
+    op = tensors[0].graph.create_op(
+        "Stack",
+        inputs=tensors,
+        output_specs=[(tensors[0].dtype, out_shape)],
+        attrs={"axis": axis},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def squeeze(value, axis: Optional[int] = None, name: str = "Squeeze") -> Tensor:
+    x = to_tensor(value)
+    if x.shape.dims is None:
+        out_shape = TensorShape(None)
+    else:
+        dims = list(x.shape.dims)
+        if axis is None:
+            dims = [d for d in dims if d != 1]
+        else:
+            ax = axis % len(dims)
+            if dims[ax] not in (1, None):
+                raise InvalidArgumentError(
+                    f"Cannot squeeze dim {ax} of size {dims[ax]}"
+                )
+            dims.pop(ax)
+        out_shape = TensorShape(dims)
+    op = x.graph.create_op(
+        "Squeeze",
+        inputs=[x],
+        output_specs=[(x.dtype, out_shape)],
+        attrs={"axis": axis},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def expand_dims(value, axis: int, name: str = "ExpandDims") -> Tensor:
+    x = to_tensor(value)
+    if x.shape.dims is None:
+        out_shape = TensorShape(None)
+    else:
+        dims = list(x.shape.dims)
+        ax = axis % (len(dims) + 1)
+        dims.insert(ax, 1)
+        out_shape = TensorShape(dims)
+    op = x.graph.create_op(
+        "ExpandDims",
+        inputs=[x],
+        output_specs=[(x.dtype, out_shape)],
+        attrs={"axis": axis},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def fill(shape: Sequence[int], value: Union[int, float], dtype=dtypes.float32,
+         name: str = "Fill", graph: Optional[Graph] = None) -> Tensor:
+    g = graph_of(graph=graph)
+    target = dtypes.as_dtype(dtype)
+    static = as_shape(list(shape))
+    op = g.create_op(
+        "Fill",
+        inputs=[],
+        output_specs=[(target, static)],
+        attrs={"shape": static.as_tuple(), "fill_value": value},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def zeros(shape, dtype=dtypes.float32, name: str = "zeros",
+          graph: Optional[Graph] = None) -> Tensor:
+    return fill(shape, 0, dtype=dtype, name=name, graph=graph)
+
+
+def ones(shape, dtype=dtypes.float32, name: str = "ones",
+         graph: Optional[Graph] = None) -> Tensor:
+    return fill(shape, 1, dtype=dtype, name=name, graph=graph)
+
+
+def zeros_like(value, name: str = "zeros_like") -> Tensor:
+    x = to_tensor(value)
+    op = x.graph.create_op(
+        "ZerosLike",
+        inputs=[x],
+        output_specs=[(x.dtype, x.shape)],
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def slice_(value, begin: Sequence[int], size: Sequence[int], name: str = "Slice") -> Tensor:
+    """Extract ``value[begin : begin + size]`` along each dimension."""
+    x = to_tensor(value)
+    begin = tuple(int(b) for b in begin)
+    size = tuple(int(s) for s in size)
+    if len(begin) != len(size):
+        raise InvalidArgumentError("slice begin/size rank mismatch")
+    if x.shape.rank is not None and x.shape.rank != len(begin):
+        raise InvalidArgumentError(
+            f"slice begin/size rank {len(begin)} != tensor rank {x.shape.rank}"
+        )
+    out_shape = TensorShape(size)
+    op = x.graph.create_op(
+        "Slice",
+        inputs=[x],
+        output_specs=[(x.dtype, out_shape)],
+        attrs={"begin": begin, "size": size},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+def _memcpy_cost(*values) -> Cost:
+    nbytes = sum(runtime_spec(v).nbytes for v in values)
+    return Cost(mem_bytes=nbytes, kind="memcpy")
+
+
+@register_kernel("Const")
+def _const_kernel(op, inputs, ctx):
+    value = op.get_attr("value")
+    return [value], Cost.none()
+
+
+@register_kernel("Placeholder")
+def _placeholder_kernel(op, inputs, ctx):
+    name = op.outputs[0].name
+    if name not in ctx.feeds:
+        raise InvalidArgumentError(
+            f"Placeholder {op.name!r} requires a feed value", node_def=op.name
+        )
+    value = ctx.feeds[name]
+    if not isinstance(value, SymbolicValue):
+        value = np.asarray(value, dtype=op.outputs[0].dtype.np_dtype)
+        if not op.outputs[0].shape.is_compatible_with(TensorShape(value.shape)):
+            raise InvalidArgumentError(
+                f"Feed shape {value.shape} incompatible with placeholder "
+                f"shape {op.outputs[0].shape}",
+                node_def=op.name,
+            )
+    return [value], Cost.none()
+
+
+@register_kernel("Identity")
+def _identity_kernel(op, inputs, ctx):
+    return [inputs[0]], Cost.none()
+
+
+@register_kernel("Cast")
+def _cast_kernel(op, inputs, ctx):
+    target = dtypes.as_dtype(op.get_attr("dst_dtype"))
+    (x,) = inputs
+    if isinstance(x, SymbolicValue):
+        out = make_symbolic(x.shape, target)
+    else:
+        out = np.asarray(x).astype(target.np_dtype)
+    return [out], _memcpy_cost(x, out)
+
+
+@register_kernel("Reshape")
+def _reshape_kernel(op, inputs, ctx):
+    (x,) = inputs
+    new_shape = op.get_attr("shape")
+    if isinstance(x, SymbolicValue):
+        total = x.size
+        known = 1
+        for d in new_shape:
+            if d != -1:
+                known *= d
+        resolved = tuple(total // known if d == -1 else d for d in new_shape)
+        return [make_symbolic(resolved, x.dtype)], Cost.none()
+    return [np.reshape(x, new_shape)], Cost.none()
+
+
+@register_kernel("Transpose")
+def _transpose_kernel(op, inputs, ctx):
+    (x,) = inputs
+    perm = op.get_attr("perm")
+    if isinstance(x, SymbolicValue):
+        out = make_symbolic(tuple(x.shape[p] for p in perm), x.dtype)
+    else:
+        out = np.transpose(x, perm)
+    return [out], _memcpy_cost(x, out)
+
+
+@register_kernel("Concat")
+def _concat_kernel(op, inputs, ctx):
+    axis = op.get_attr("axis")
+    if any_symbolic(inputs):
+        specs = [runtime_spec(v) for v in inputs]
+        rank = len(specs[0].shape)
+        ax = axis % rank
+        dims = list(specs[0].shape)
+        dims[ax] = sum(s.shape[ax] for s in specs)
+        out = make_symbolic(dims, specs[0].dtype)
+    else:
+        out = np.concatenate([np.asarray(v) for v in inputs], axis=axis)
+    return [out], _memcpy_cost(*inputs)
+
+
+@register_kernel("Split")
+def _split_kernel(op, inputs, ctx):
+    (x,) = inputs
+    axis = op.get_attr("axis")
+    n = op.get_attr("num_splits")
+    if isinstance(x, SymbolicValue):
+        ax = axis % len(x.shape)
+        dims = list(x.shape)
+        dims[ax] //= n
+        outs = [make_symbolic(dims, x.dtype) for _ in range(n)]
+    else:
+        outs = [np.ascontiguousarray(part) for part in np.split(np.asarray(x), n, axis=axis)]
+    return outs, _memcpy_cost(x)
+
+
+@register_kernel("Stack")
+def _stack_kernel(op, inputs, ctx):
+    axis = op.get_attr("axis")
+    if any_symbolic(inputs):
+        spec = runtime_spec(inputs[0])
+        dims = list(spec.shape)
+        ax = axis % (len(dims) + 1)
+        dims.insert(ax, len(inputs))
+        out = make_symbolic(dims, spec.dtype)
+    else:
+        out = np.stack([np.asarray(v) for v in inputs], axis=axis)
+    return [out], _memcpy_cost(*inputs)
+
+
+@register_kernel("Squeeze")
+def _squeeze_kernel(op, inputs, ctx):
+    (x,) = inputs
+    axis = op.get_attr("axis")
+    if isinstance(x, SymbolicValue):
+        dims = list(x.shape)
+        if axis is None:
+            dims = [d for d in dims if d != 1]
+        else:
+            dims.pop(axis % len(dims))
+        out = make_symbolic(dims, x.dtype)
+    else:
+        out = np.squeeze(x, axis=axis) if axis is not None else np.squeeze(x)
+    return [out], Cost.none()
+
+
+@register_kernel("ExpandDims")
+def _expand_dims_kernel(op, inputs, ctx):
+    (x,) = inputs
+    axis = op.get_attr("axis")
+    if isinstance(x, SymbolicValue):
+        dims = list(x.shape)
+        ax = axis % (len(dims) + 1)
+        dims.insert(ax, 1)
+        out = make_symbolic(dims, x.dtype)
+    else:
+        out = np.expand_dims(x, axis=axis)
+    return [out], Cost.none()
+
+
+@register_kernel("Fill")
+def _fill_kernel(op, inputs, ctx):
+    shape = op.get_attr("shape")
+    value = op.get_attr("fill_value")
+    dtype = op.outputs[0].dtype
+    if ctx.symbolic:
+        out = make_symbolic(shape, dtype)
+    else:
+        out = np.full(shape, value, dtype=dtype.np_dtype)
+    return [out], Cost(mem_bytes=runtime_spec(out).nbytes, kind="memcpy")
+
+
+@register_kernel("ZerosLike")
+def _zeros_like_kernel(op, inputs, ctx):
+    (x,) = inputs
+    if isinstance(x, SymbolicValue):
+        out = make_symbolic(x.shape, x.dtype)
+    else:
+        out = np.zeros_like(x)
+    return [out], Cost(mem_bytes=runtime_spec(out).nbytes, kind="memcpy")
+
+
+@register_kernel("Slice")
+def _slice_kernel(op, inputs, ctx):
+    (x,) = inputs
+    begin = op.get_attr("begin")
+    size = op.get_attr("size")
+    if isinstance(x, SymbolicValue):
+        out = make_symbolic(size, x.dtype)
+    else:
+        index = tuple(slice(b, b + s) for b, s in zip(begin, size))
+        out = np.ascontiguousarray(np.asarray(x)[index])
+    return [out], Cost(mem_bytes=2 * runtime_spec(out).nbytes, kind="memcpy")

@@ -1,0 +1,99 @@
+"""Shared helpers for op builders and kernels."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro import dtypes
+from repro.core.graph import Graph, get_default_graph
+from repro.core.tensor import SymbolicValue, Tensor, TensorShape
+from repro.errors import InvalidArgumentError
+
+__all__ = [
+    "to_tensor",
+    "broadcast_static_shapes",
+    "any_symbolic",
+    "runtime_shape",
+    "runtime_spec",
+    "elementwise_spec",
+    "make_symbolic",
+    "graph_of",
+]
+
+
+def graph_of(*tensors, graph: Optional[Graph] = None) -> Graph:
+    """The graph new ops should join: explicit > inferred from inputs > default."""
+    if graph is not None:
+        return graph
+    for t in tensors:
+        if isinstance(t, Tensor):
+            return t.graph
+    return get_default_graph()
+
+
+def to_tensor(value: Any, dtype=None, graph: Optional[Graph] = None) -> Tensor:
+    """Coerce python values / ndarrays to constant tensors in ``graph``."""
+    from repro.core.graph import convert_to_tensor
+
+    return convert_to_tensor(value, dtype=dtype, graph=graph)
+
+
+def broadcast_static_shapes(a: TensorShape, b: TensorShape) -> TensorShape:
+    """NumPy broadcasting over partially-known shapes."""
+    if a.dims is None or b.dims is None:
+        return TensorShape(None)
+    ra, rb = len(a.dims), len(b.dims)
+    rank = max(ra, rb)
+    dims_a = (None,) * (rank - ra) + a.dims
+    dims_b = (None,) * (rank - rb) + b.dims
+    out = []
+    for da, db in zip(dims_a, dims_b):
+        if da == 1:
+            out.append(db)
+        elif db == 1:
+            out.append(da)
+        elif da is None:
+            out.append(db if db is not None and db != 1 else None)
+        elif db is None:
+            out.append(da if da != 1 else None)
+        elif da == db:
+            out.append(da)
+        else:
+            raise InvalidArgumentError(
+                f"Shapes {a} and {b} are not broadcast-compatible"
+            )
+    return TensorShape(out)
+
+
+# -- runtime-value helpers (used by kernels) ---------------------------------
+
+def any_symbolic(values: Sequence[Any]) -> bool:
+    return any(isinstance(v, SymbolicValue) for v in values)
+
+
+def runtime_shape(value: Any) -> tuple[int, ...]:
+    if isinstance(value, SymbolicValue):
+        return value.shape
+    return tuple(np.asarray(value).shape)
+
+
+def runtime_spec(value: Any) -> SymbolicValue:
+    return SymbolicValue.of(value)
+
+
+def make_symbolic(shape: Sequence[int], dtype) -> SymbolicValue:
+    return SymbolicValue(shape, dtypes.as_dtype(dtype))
+
+
+def elementwise_spec(values: Sequence[Any], dtype=None) -> SymbolicValue:
+    """Broadcasted result spec of an elementwise op over runtime values."""
+    shape = runtime_shape(values[0])
+    for v in values[1:]:
+        shape = np.broadcast_shapes(shape, runtime_shape(v))
+    if dtype is None:
+        dtype = dtypes.result_dtype(
+            *[runtime_spec(v).dtype for v in values]
+        )
+    return SymbolicValue(shape, dtype)

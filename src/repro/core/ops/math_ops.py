@@ -1,0 +1,378 @@
+"""Mathematical ops: elementwise arithmetic, reductions, matrix products."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import dtypes
+from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.ops.common import (
+    any_symbolic,
+    broadcast_static_shapes,
+    elementwise_spec,
+    make_symbolic,
+    runtime_shape,
+    runtime_spec,
+    to_tensor,
+)
+from repro.core.tensor import SymbolicValue, Tensor, TensorShape
+from repro.errors import InvalidArgumentError
+
+__all__ = [
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "negative",
+    "square",
+    "sqrt",
+    "maximum",
+    "minimum",
+    "matmul",
+    "dot",
+    "add_n",
+    "reduce_sum",
+    "reduce_mean",
+    "reduce_max",
+    "cast",
+]
+
+# Re-export cast so ``math_ops.cast`` works like in TF.
+from repro.core.ops.array_ops import cast  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+def _binary(op_type: str, x, y, name: str) -> Tensor:
+    xt = to_tensor(x)
+    yt = to_tensor(y, graph=xt.graph)
+    if xt.dtype != yt.dtype:
+        # Promote literals/other dtypes NumPy-style; TF is stricter, but the
+        # looser rule keeps the HPC apps readable.
+        target = dtypes.result_dtype(xt.dtype, yt.dtype)
+        if xt.dtype != target:
+            xt = cast(xt, target)
+        if yt.dtype != target:
+            yt = cast(yt, target)
+    shape = broadcast_static_shapes(xt.shape, yt.shape)
+    op = xt.graph.create_op(
+        op_type,
+        inputs=[xt, yt],
+        output_specs=[(xt.dtype, shape)],
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def add(x, y, name: str = "Add") -> Tensor:
+    return _binary("Add", x, y, name)
+
+
+def subtract(x, y, name: str = "Sub") -> Tensor:
+    return _binary("Sub", x, y, name)
+
+
+def multiply(x, y, name: str = "Mul") -> Tensor:
+    return _binary("Mul", x, y, name)
+
+
+def divide(x, y, name: str = "Div") -> Tensor:
+    return _binary("Div", x, y, name)
+
+
+def maximum(x, y, name: str = "Maximum") -> Tensor:
+    return _binary("Maximum", x, y, name)
+
+
+def minimum(x, y, name: str = "Minimum") -> Tensor:
+    return _binary("Minimum", x, y, name)
+
+
+def _unary(op_type: str, x, name: str, dtype=None) -> Tensor:
+    xt = to_tensor(x)
+    op = xt.graph.create_op(
+        op_type,
+        inputs=[xt],
+        output_specs=[(dtype or xt.dtype, xt.shape)],
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def negative(x, name: str = "Neg") -> Tensor:
+    return _unary("Neg", x, name)
+
+
+def square(x, name: str = "Square") -> Tensor:
+    return _unary("Square", x, name)
+
+
+def sqrt(x, name: str = "Sqrt") -> Tensor:
+    return _unary("Sqrt", x, name)
+
+
+def matmul(a, b, transpose_a: bool = False, transpose_b: bool = False,
+           name: str = "MatMul") -> Tensor:
+    """Matrix product of rank-2 tensors (or matrix×vector for rank-1 b)."""
+    at = to_tensor(a)
+    bt = to_tensor(b, graph=at.graph)
+    if at.dtype != bt.dtype:
+        raise InvalidArgumentError(
+            f"matmul dtype mismatch: {at.dtype.name} vs {bt.dtype.name}"
+        )
+    sa = at.shape
+    sb = bt.shape
+    rank_b = sb.rank
+    if sa.rank not in (None, 2):
+        raise InvalidArgumentError(f"matmul lhs must be rank 2, got {sa}")
+    if rank_b not in (None, 1, 2):
+        raise InvalidArgumentError(f"matmul rhs must be rank 1 or 2, got {sb}")
+    if rank_b == 1 and transpose_b:
+        raise InvalidArgumentError("cannot transpose a rank-1 rhs")
+    m = None if sa.rank is None else sa[1 if transpose_a else 0]
+    ka = None if sa.rank is None else sa[0 if transpose_a else 1]
+    if rank_b == 1:
+        kb = sb[0]
+        out_shape = TensorShape([m])
+    else:
+        kb = None if rank_b is None else sb[1 if transpose_b else 0]
+        n = None if rank_b is None else sb[0 if transpose_b else 1]
+        out_shape = TensorShape([m, n]) if rank_b is not None else TensorShape(None)
+    if ka is not None and kb is not None and ka != kb:
+        raise InvalidArgumentError(
+            f"matmul inner dimensions disagree: {ka} vs {kb}"
+        )
+    op = at.graph.create_op(
+        "MatMul",
+        inputs=[at, bt],
+        output_specs=[(at.dtype, out_shape)],
+        attrs={"transpose_a": transpose_a, "transpose_b": transpose_b},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def dot(x, y, name: str = "Dot") -> Tensor:
+    """Inner product of two rank-1 tensors, returning a scalar."""
+    xt = to_tensor(x)
+    yt = to_tensor(y, graph=xt.graph)
+    if xt.dtype != yt.dtype:
+        raise InvalidArgumentError(
+            f"dot dtype mismatch: {xt.dtype.name} vs {yt.dtype.name}"
+        )
+    for t in (xt, yt):
+        if t.shape.rank not in (None, 1):
+            raise InvalidArgumentError(f"dot expects vectors, got {t.shape}")
+    op = xt.graph.create_op(
+        "Dot",
+        inputs=[xt, yt],
+        output_specs=[(xt.dtype, TensorShape([]))],
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def add_n(values: Sequence[Any], name: str = "AddN") -> Tensor:
+    tensors = [to_tensor(v) for v in values]
+    if not tensors:
+        raise InvalidArgumentError("add_n of an empty list")
+    shape = tensors[0].shape
+    for t in tensors[1:]:
+        shape = shape.merge_with(t.shape)
+        if t.dtype != tensors[0].dtype:
+            raise InvalidArgumentError("add_n requires uniform dtypes")
+    op = tensors[0].graph.create_op(
+        "AddN",
+        inputs=tensors,
+        output_specs=[(tensors[0].dtype, shape)],
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def _reduce(op_type: str, x, axis, keepdims: bool, name: str,
+            dtype=None) -> Tensor:
+    xt = to_tensor(x)
+    rank = xt.shape.rank
+    if axis is None:
+        axes: Optional[tuple[int, ...]] = None
+        out_shape = TensorShape([] if not keepdims else [1] * (rank or 0))
+        if rank is None and keepdims:
+            out_shape = TensorShape(None)
+    else:
+        if isinstance(axis, int):
+            axis = (axis,)
+        axes = tuple(int(a) for a in axis)
+        if rank is None:
+            out_shape = TensorShape(None)
+        else:
+            norm = {a % rank for a in axes}
+            dims = [
+                (1 if keepdims else None) if i in norm else d
+                for i, d in enumerate(xt.shape.dims)
+            ]
+            if not keepdims:
+                dims = [d for i, d in enumerate(dims) if i not in norm]
+            out_shape = TensorShape(dims)
+    op = xt.graph.create_op(
+        op_type,
+        inputs=[xt],
+        output_specs=[(dtype or xt.dtype, out_shape)],
+        attrs={"axis": axes, "keepdims": keepdims},
+        name=name,
+    )
+    return op.outputs[0]
+
+
+def reduce_sum(x, axis=None, keepdims: bool = False, name: str = "Sum") -> Tensor:
+    return _reduce("Sum", x, axis, keepdims, name)
+
+
+def reduce_mean(x, axis=None, keepdims: bool = False, name: str = "Mean") -> Tensor:
+    return _reduce("Mean", x, axis, keepdims, name)
+
+
+def reduce_max(x, axis=None, keepdims: bool = False, name: str = "Max") -> Tensor:
+    return _reduce("Max", x, axis, keepdims, name)
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+def _elementwise_cost(values, out_spec: SymbolicValue, flops_per_element: float = 1.0) -> Cost:
+    n = out_spec.size
+    nbytes = sum(runtime_spec(v).nbytes for v in values) + out_spec.nbytes
+    return Cost(flops=flops_per_element * n, mem_bytes=nbytes, kind="compute")
+
+
+def _binary_kernel(np_fn, flops_per_element: float = 1.0):
+    def kernel(op, inputs, ctx):
+        out_spec = elementwise_spec(inputs, dtype=op.outputs[0].dtype)
+        cost = _elementwise_cost(inputs, out_spec, flops_per_element)
+        if any_symbolic(inputs):
+            return [out_spec], cost
+        a, b = (np.asarray(v) for v in inputs)
+        out = np_fn(a, b).astype(op.outputs[0].dtype.np_dtype, copy=False)
+        return [out], cost
+
+    return kernel
+
+
+register_kernel("Add")(_binary_kernel(np.add))
+register_kernel("Sub")(_binary_kernel(np.subtract))
+register_kernel("Mul")(_binary_kernel(np.multiply))
+register_kernel("Div")(_binary_kernel(np.divide))
+register_kernel("Maximum")(_binary_kernel(np.maximum))
+register_kernel("Minimum")(_binary_kernel(np.minimum))
+
+
+def _unary_kernel(np_fn, flops_per_element: float = 1.0):
+    def kernel(op, inputs, ctx):
+        (x,) = inputs
+        out_spec = elementwise_spec(inputs, dtype=op.outputs[0].dtype)
+        cost = _elementwise_cost(inputs, out_spec, flops_per_element)
+        if isinstance(x, SymbolicValue):
+            return [out_spec], cost
+        out = np_fn(np.asarray(x)).astype(op.outputs[0].dtype.np_dtype, copy=False)
+        return [out], cost
+
+    return kernel
+
+
+register_kernel("Neg")(_unary_kernel(np.negative))
+register_kernel("Square")(_unary_kernel(np.square))
+register_kernel("Sqrt")(_unary_kernel(np.sqrt, flops_per_element=4.0))
+
+
+@register_kernel("MatMul")
+def _matmul_kernel(op, inputs, ctx):
+    a, b = inputs
+    ta = op.get_attr("transpose_a", False)
+    tb = op.get_attr("transpose_b", False)
+    sa = runtime_shape(a)
+    sb = runtime_shape(b)
+    m, k = (sa[1], sa[0]) if ta else (sa[0], sa[1])
+    if len(sb) == 1:
+        n = 1
+        out_shape: tuple[int, ...] = (m,)
+    else:
+        kb, n = (sb[1], sb[0]) if tb else (sb[0], sb[1])
+        out_shape = (m, n)
+    dtype = runtime_spec(a).dtype
+    # Complex multiply-add counts 4x real flops; the figures only use real.
+    factor = 4.0 if dtype.is_complex else 1.0
+    flops = factor * 2.0 * m * k * n
+    nbytes = (m * k + k * n + m * n) * dtype.size
+    cost = Cost(flops=flops, mem_bytes=nbytes, kind="compute")
+    if any_symbolic(inputs):
+        return [make_symbolic(out_shape, dtype)], cost
+    am = np.asarray(a).T if ta else np.asarray(a)
+    bm = np.asarray(b).T if tb else np.asarray(b)
+    return [am @ bm], cost
+
+
+@register_kernel("Dot")
+def _dot_kernel(op, inputs, ctx):
+    a, b = inputs
+    n = runtime_spec(a).size
+    dtype = runtime_spec(a).dtype
+    factor = 4.0 if dtype.is_complex else 1.0
+    cost = Cost(
+        flops=factor * 2.0 * n,
+        mem_bytes=2 * n * dtype.size,
+        kind="compute",
+    )
+    if any_symbolic(inputs):
+        return [make_symbolic((), dtype)], cost
+    return [np.asarray(np.dot(np.asarray(a), np.asarray(b)))], cost
+
+
+@register_kernel("AddN")
+def _add_n_kernel(op, inputs, ctx):
+    out_spec = elementwise_spec(inputs, dtype=op.outputs[0].dtype)
+    cost = Cost(
+        flops=(len(inputs) - 1) * out_spec.size,
+        mem_bytes=sum(runtime_spec(v).nbytes for v in inputs) + out_spec.nbytes,
+        kind="compute",
+    )
+    if any_symbolic(inputs):
+        return [out_spec], cost
+    total = np.zeros(out_spec.shape, dtype=out_spec.dtype.np_dtype)
+    for v in inputs:
+        total = total + np.asarray(v)
+    return [total], cost
+
+
+def _reduce_kernel(np_fn, extra_flops: float = 1.0):
+    def kernel(op, inputs, ctx):
+        (x,) = inputs
+        axes = op.get_attr("axis")
+        keepdims = op.get_attr("keepdims", False)
+        spec = runtime_spec(x)
+        cost = Cost(
+            flops=extra_flops * spec.size,
+            mem_bytes=spec.nbytes,
+            kind="compute",
+        )
+        if isinstance(x, SymbolicValue):
+            shape = list(spec.shape)
+            rank = len(shape)
+            norm = set(range(rank)) if axes is None else {a % rank for a in axes}
+            dims = [1 if i in norm else d for i, d in enumerate(shape)]
+            if not keepdims:
+                dims = [d for i, d in enumerate(dims) if i not in norm]
+            return [make_symbolic(dims, spec.dtype)], cost
+        out = np_fn(np.asarray(x), axis=axes, keepdims=keepdims)
+        return [np.asarray(out, dtype=op.outputs[0].dtype.np_dtype)], cost
+
+    return kernel
+
+
+register_kernel("Sum")(_reduce_kernel(np.sum))
+register_kernel("Mean")(_reduce_kernel(np.mean, extra_flops=1.0))
+register_kernel("Max")(_reduce_kernel(np.max))

@@ -1,0 +1,236 @@
+"""Stateful variables and assignment ops.
+
+Variables are the only mutable tensors. Their storage lives in the
+:class:`~repro.core.kernels.registry.ResourceManager` of the task owning
+the variable's device — which is exactly why a variable placed on a
+parameter-server task persists across sessions and is shared by all
+workers, the mechanism both the paper's STREAM benchmark (remote
+``assign_add``) and its CG solver (persistent tiles between iterations,
+the 2 GB GraphDef workaround) are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro import dtypes
+from repro.core.graph import Graph, GraphKeys, get_default_graph
+from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.ops.common import graph_of, make_symbolic, runtime_spec, to_tensor
+from repro.core.tensor import SymbolicValue, Tensor, TensorShape, as_shape
+from repro.errors import FailedPreconditionError, InvalidArgumentError
+
+__all__ = [
+    "Variable",
+    "assign",
+    "assign_add",
+    "assign_sub",
+    "global_variables_initializer",
+]
+
+
+class Variable:
+    """A mutable tensor with an explicit initializer op.
+
+    Usage mirrors TF 1.x::
+
+        v = Variable(np.zeros(10), name="state")
+        sess.run(v.initializer)
+        sess.run(assign_add(v, update))
+        value = sess.run(v.value())
+    """
+
+    def __init__(self, initial_value: Any, dtype=None, name: str = "Variable",
+                 graph: Optional[Graph] = None, shape=None):
+        g = graph_of(graph=graph)
+        if isinstance(initial_value, Tensor):
+            init = initial_value
+            if dtype is not None and init.dtype != dtypes.as_dtype(dtype):
+                raise InvalidArgumentError(
+                    "initial_value dtype disagrees with requested dtype"
+                )
+        else:
+            arr = np.asarray(initial_value)
+            if dtype is not None:
+                arr = arr.astype(dtypes.as_dtype(dtype).np_dtype)
+            from repro.core.ops.array_ops import constant
+
+            init = constant(arr, name=f"{name}/initial_value", graph=g)
+        static_shape = init.shape if shape is None else as_shape(shape)
+        self._var_op = g.create_op(
+            "VariableV2",
+            inputs=[],
+            output_specs=[(init.dtype, static_shape)],
+            attrs={},
+            name=name,
+        )
+        # The initializer is an Operation (as in TF): running it must not
+        # fetch the assigned value back to the client.
+        self._initializer = _make_assign(
+            self._var_op, init, name=f"{name}/Assign"
+        ).op
+        g.add_to_collection(GraphKeys.GLOBAL_VARIABLES, self)
+
+    # -- graph handles -------------------------------------------------------
+    @property
+    def op(self):
+        return self._var_op
+
+    @property
+    def name(self) -> str:
+        return self._var_op.name
+
+    @property
+    def dtype(self) -> dtypes.DType:
+        return self._var_op.outputs[0].dtype
+
+    @property
+    def shape(self) -> TensorShape:
+        return self._var_op.outputs[0].shape
+
+    @property
+    def graph(self) -> Graph:
+        return self._var_op.graph
+
+    @property
+    def device(self) -> str:
+        return self._var_op.device
+
+    @property
+    def initializer(self):
+        """The Operation that assigns the initial value."""
+        return self._initializer
+
+    def value(self) -> Tensor:
+        """The tensor reading this variable's current value."""
+        return self._var_op.outputs[0]
+
+    # Arithmetic sugar so variables can appear directly in expressions.
+    def __add__(self, other):
+        return self.value() + other
+
+    def __sub__(self, other):
+        return self.value() - other
+
+    def __mul__(self, other):
+        return self.value() * other
+
+    def __matmul__(self, other):
+        return self.value() @ other
+
+    def __repr__(self) -> str:
+        return f"<Variable {self.name!r} shape={self.shape} dtype={self.dtype.name}>"
+
+
+def _var_op_of(ref) -> "Operation":
+    from repro.core.graph import Operation
+
+    if isinstance(ref, Variable):
+        return ref.op
+    if isinstance(ref, Tensor) and ref.op.type == "VariableV2":
+        return ref.op
+    if isinstance(ref, Operation) and ref.type == "VariableV2":
+        return ref
+    raise InvalidArgumentError(f"Expected a Variable, got {ref!r}")
+
+
+def _make_assign(var_op, value: Tensor, name: str, op_type: str = "Assign") -> Tensor:
+    shape = var_op.outputs[0].shape.merge_with(value.shape)
+    op = var_op.graph.create_op(
+        op_type,
+        inputs=[value],
+        output_specs=[(var_op.outputs[0].dtype, shape)],
+        attrs={"var_name": var_op.name},
+        name=name,
+        # Assign ops are colocated with the variable, as in TF.
+        device=var_op.device,
+    )
+    return op.outputs[0]
+
+
+def assign(ref, value, name: str = "Assign") -> Tensor:
+    """``ref = value``; output is the freshly assigned value."""
+    var_op = _var_op_of(ref)
+    return _make_assign(var_op, to_tensor(value, graph=var_op.graph), name)
+
+
+def assign_add(ref, value, name: str = "AssignAdd") -> Tensor:
+    """``ref += value``; the paper's STREAM benchmark op."""
+    var_op = _var_op_of(ref)
+    return _make_assign(var_op, to_tensor(value, graph=var_op.graph), name,
+                        op_type="AssignAdd")
+
+
+def assign_sub(ref, value, name: str = "AssignSub") -> Tensor:
+    var_op = _var_op_of(ref)
+    return _make_assign(var_op, to_tensor(value, graph=var_op.graph), name,
+                        op_type="AssignSub")
+
+
+def global_variables_initializer(graph: Optional[Graph] = None, name: str = "init"):
+    """Group op running every variable initializer in the graph."""
+    from repro.core.ops.control_flow import group
+
+    g = graph or get_default_graph()
+    variables = g.get_collection(GraphKeys.GLOBAL_VARIABLES)
+    return group(*[v.initializer for v in variables], name=name, graph=g)
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+@register_kernel("VariableV2")
+def _variable_kernel(op, inputs, ctx):
+    store = ctx.resources.variables
+    if op.name not in store:
+        raise FailedPreconditionError(
+            f"Attempting to use uninitialized variable {op.name!r}",
+            node_def=op.name,
+        )
+    value = store[op.name]
+    # Reading a variable hands out a reference, not a copy (TF semantics);
+    # the read itself is free, consumers pay for the bytes they touch.
+    return [value], Cost.none()
+
+
+@register_kernel("Assign")
+def _assign_kernel(op, inputs, ctx):
+    (value,) = inputs
+    var_name = op.get_attr("var_name")
+    if isinstance(value, np.ndarray):
+        value = value.copy()
+    ctx.resources.variables[var_name] = value
+    nbytes = runtime_spec(value).nbytes
+    return [value], Cost(mem_bytes=2 * nbytes, kind="memcpy")
+
+
+def _accumulate_kernel(np_op):
+    def kernel(op, inputs, ctx):
+        (delta,) = inputs
+        var_name = op.get_attr("var_name")
+        store = ctx.resources.variables
+        if var_name not in store:
+            raise FailedPreconditionError(
+                f"Attempting to update uninitialized variable {var_name!r}",
+                node_def=op.name,
+            )
+        current = store[var_name]
+        spec = runtime_spec(current)
+        cost = Cost(flops=spec.size, mem_bytes=3 * spec.nbytes, kind="compute")
+        if isinstance(current, SymbolicValue) or isinstance(delta, SymbolicValue):
+            store[var_name] = spec
+            return [spec], cost
+        updated = np_op(np.asarray(current), np.asarray(delta)).astype(
+            op.outputs[0].dtype.np_dtype, copy=False
+        )
+        store[var_name] = updated
+        return [updated], cost
+
+    return kernel
+
+
+register_kernel("AssignAdd")(_accumulate_kernel(np.add))
+register_kernel("AssignSub")(_accumulate_kernel(np.subtract))

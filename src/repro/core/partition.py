@@ -1,0 +1,255 @@
+"""Graph pruning and partitioning into per-device execution plans.
+
+Given fetches and feeds, the partitioner:
+
+1. prunes the graph to the ops reachable (backwards) from the fetches,
+   cutting edges supplied through the feed dict;
+2. assigns every pruned op a fully-qualified device via the
+   :class:`~repro.core.placement.Placer`;
+3. splits the ops by device and inserts explicit ``_Send``/``_Recv`` item
+   pairs on every cross-device edge (data *and* control), keyed for the
+   run's rendezvous — TF's distributed-execution mechanism, and the place
+   where all network traffic in the paper's benchmarks originates;
+4. routes fetched tensors to the client device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from repro.core.graph import Graph, Operation
+from repro.core.placement import Placer
+from repro.core.tensor import Tensor
+from repro.errors import InvalidArgumentError
+from repro.runtime.rendezvous import make_key
+
+__all__ = ["Item", "ExecutionPlan", "build_plan", "FEED"]
+
+# Sentinel marking an input edge satisfied from the feed dict.
+FEED = "__feed__"
+
+
+@dataclass
+class Item:
+    """One schedulable unit on one device."""
+
+    uid: int
+    kind: str  # "op" | "send" | "recv"
+    device: str
+    op: Optional[Operation] = None
+    # Value inputs: (producer Item, output index) or (FEED, tensor name).
+    sources: list = field(default_factory=list)
+    # Pure ordering dependencies (control edges).
+    extra_deps: list = field(default_factory=list)
+    # send/recv wiring.
+    key: Optional[str] = None
+    dst_device: Optional[str] = None  # send only
+    tensor_name: Optional[str] = None  # send/recv: which tensor moves
+    # Per-output consumer counts (memory refcounting), filled by build_plan.
+    consumer_counts: list = field(default_factory=list)
+    # Runtime state, owned by the executor.
+    process: Any = None
+    out_values: Optional[list] = None
+
+    def __repr__(self) -> str:
+        label = self.op.name if self.op is not None else self.key
+        return f"<Item #{self.uid} {self.kind} {label!r} on {self.device}>"
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything a run needs: items, per-device lists, fetch routing."""
+
+    items: list[Item]
+    per_device: dict[str, list[Item]]
+    # For each fetch tensor: local (Item, out_idx) on the client device.
+    fetch_sources: list
+    devices_by_task: dict  # (job, task) -> set of device strings
+    placements: dict  # op name -> device string
+
+    @property
+    def tasks(self) -> list:
+        return sorted(self.devices_by_task)
+
+
+def _normalize_feeds(feed_dict) -> dict[str, Any]:
+    feeds: dict[str, Any] = {}
+    if not feed_dict:
+        return feeds
+    for key, value in feed_dict.items():
+        if isinstance(key, Tensor):
+            feeds[key.name] = value
+        elif isinstance(key, str):
+            feeds[key] = value
+        else:
+            raise InvalidArgumentError(
+                f"feed_dict keys must be Tensors or names, got {key!r}"
+            )
+    return feeds
+
+
+def build_plan(
+    graph: Graph,
+    fetch_ops: Sequence[Operation],
+    fetch_tensors: Sequence[Tensor],
+    feeds: dict[str, Any],
+    placer: Placer,
+    client_device: str,
+    run_id: int,
+) -> ExecutionPlan:
+    """Construct the execution plan for one session run."""
+    # ---- 1. prune ---------------------------------------------------------
+    needed: dict[str, Operation] = {}
+    stack: list[Operation] = list(fetch_ops) + [
+        t.op for t in fetch_tensors if t.name not in feeds
+    ]
+    while stack:
+        op = stack.pop()
+        if op.name in needed:
+            continue
+        needed[op.name] = op
+        for tensor in op.inputs:
+            if tensor.name in feeds:
+                continue  # edge satisfied by the feed: do not traverse
+            if tensor.op.name not in needed:
+                stack.append(tensor.op)
+        for dep in op.control_inputs:
+            if dep.name not in needed:
+                stack.append(dep)
+    # Graph insertion order is a valid topological order: an op's inputs
+    # exist before the op is created.
+    ordered = sorted(needed.values(), key=lambda o: o.node_id)
+
+    # ---- 2. place ---------------------------------------------------------
+    placements = {op.name: placer.place(op) for op in ordered}
+
+    # ---- 3. items + send/recv insertion ------------------------------------
+    items: list[Item] = []
+    op_items: dict[str, Item] = {}
+    # (tensor name, dst device) -> recv Item  (dedupe: one transfer feeds
+    # every consumer of the tensor on that device).
+    recv_cache: dict[tuple[str, str], Item] = {}
+    # (producer op name, dst device) -> recv-of-control Item.
+    ctrl_cache: dict[tuple[str, str], Item] = {}
+
+    def new_item(**kwargs) -> Item:
+        item = Item(uid=len(items), **kwargs)
+        items.append(item)
+        return item
+
+    def route_value(tensor: Tensor, dst_device: str):
+        """Source ref delivering ``tensor`` onto ``dst_device``."""
+        if tensor.name in feeds:
+            return (FEED, tensor.name)
+        producer = op_items[tensor.op.name]
+        if producer.device == dst_device:
+            return (producer, tensor.value_index)
+        cache_key = (tensor.name, dst_device)
+        if cache_key not in recv_cache:
+            key = make_key(producer.device, dst_device, tensor.name, run_id)
+            send = new_item(
+                kind="send",
+                device=producer.device,
+                sources=[(producer, tensor.value_index)],
+                key=key,
+                dst_device=dst_device,
+                tensor_name=tensor.name,
+            )
+            recv = new_item(
+                kind="recv",
+                device=dst_device,
+                key=key,
+                tensor_name=tensor.name,
+                extra_deps=[],
+            )
+            # The recv does not *depend* on the send (rendezvous matches
+            # them), but registering the edge helps deadlock diagnostics.
+            recv_cache[cache_key] = recv
+        return (recv_cache[cache_key], 0)
+
+    def route_control(dep_op: Operation, dst_device: str) -> Item:
+        """Item whose completion implies ``dep_op`` ran, visible on dst."""
+        producer = op_items[dep_op.name]
+        if producer.device == dst_device:
+            return producer
+        cache_key = (dep_op.name, dst_device)
+        if cache_key not in ctrl_cache:
+            key = make_key(
+                producer.device, dst_device, f"^{dep_op.name}", run_id
+            )
+            new_item(
+                kind="send",
+                device=producer.device,
+                sources=[],
+                extra_deps=[producer],
+                key=key,
+                dst_device=dst_device,
+                tensor_name=f"^{dep_op.name}",
+            )
+            recv = new_item(
+                kind="recv",
+                device=dst_device,
+                key=key,
+                tensor_name=f"^{dep_op.name}",
+            )
+            ctrl_cache[cache_key] = recv
+        return ctrl_cache[cache_key]
+
+    for op in ordered:
+        device = placements[op.name]
+        item = new_item(kind="op", device=device, op=op)
+        op_items[op.name] = item
+        item.sources = [route_value(t, device) for t in op.inputs]
+        item.extra_deps = [route_control(dep, device) for dep in op.control_inputs]
+
+    # ---- 4. fetch routing ---------------------------------------------------
+    fetch_sources = []
+    for tensor in fetch_tensors:
+        if tensor.name in feeds:
+            fetch_sources.append((FEED, tensor.name))
+            continue
+        fetch_sources.append(route_value(tensor, client_device))
+
+    # ---- consumer counts (memory refcounting) -------------------------------
+    for item in items:
+        n_out = len(item.op.outputs) if item.kind == "op" else 1
+        item.consumer_counts = [0] * n_out
+    for item in items:
+        for source in item.sources:
+            if source[0] is not FEED:
+                producer, idx = source
+                producer.consumer_counts[idx] += 1
+    for source in fetch_sources:
+        if source[0] is not FEED:
+            producer, idx = source
+            producer.consumer_counts[idx] += 1
+
+    # ---- group by device -----------------------------------------------------
+    per_device: dict[str, list[Item]] = {}
+    devices_by_task: dict[tuple[str, int], set] = {}
+    for item in items:
+        per_device.setdefault(item.device, []).append(item)
+        job, task = _job_task_of(item.device)
+        devices_by_task.setdefault((job, task), set()).add(item.device)
+
+    return ExecutionPlan(
+        items=items,
+        per_device=per_device,
+        fetch_sources=fetch_sources,
+        devices_by_task=devices_by_task,
+        placements=placements,
+    )
+
+
+def _job_task_of(device: str) -> tuple[str, int]:
+    job = None
+    task = None
+    for part in device.strip("/").split("/"):
+        if part.startswith("job:"):
+            job = part[4:]
+        elif part.startswith("task:"):
+            task = int(part[5:])
+    if job is None or task is None:
+        raise InvalidArgumentError(f"Device {device!r} lacks job/task")
+    return job, task

@@ -1,0 +1,352 @@
+"""Sessions: the client interface that runs (sub)graphs on devices.
+
+Mirrors TF 1.x usage::
+
+    with Session() as sess:                  # local, simulated machine
+        print(sess.run(c))
+
+    server = Server(cluster, "worker", 0, machine=m)
+    with Session(server.target, machine=m) as sess:   # distributed
+        sess.run(init)
+
+A session prunes and partitions the graph per run, schedules the plan on
+the discrete-event simulator, and returns concrete NumPy values (or
+:class:`~repro.core.tensor.SymbolicValue` specs in shape-only mode).
+``run_gen`` is the coroutine flavour used when many tasks run
+concurrently inside one simulation (the paper's worker/reducer pattern).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.executor import ExecutionState, launch_plan
+from repro.core.graph import Graph, Operation, get_default_graph
+from repro.core.metadata import RunMetadata, RunOptions
+from repro.core.partition import FEED, _normalize_feeds, build_plan
+from repro.core.placement import Placer, canonical_device
+from repro.core.tensor import Tensor
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.runtime.clusterspec import ClusterSpec
+from repro.runtime.rendezvous import Rendezvous
+from repro.runtime.server import Server, ServerConfig
+from repro.simnet.events import AllOf, Environment
+from repro.simnet.gpu import GENERIC_GPU, GPUModel
+from repro.simnet.machines import Machine, localhost
+from repro.simnet.transports import protocol_latency
+
+__all__ = ["Session", "SessionConfig"]
+
+_RUN_IDS = itertools.count(1)
+
+
+@dataclass
+class SessionConfig:
+    """Session behaviour switches (subset of ``tf.ConfigProto``)."""
+
+    allow_soft_placement: bool = True
+    log_device_placement: bool = False
+    # Shape-only execution: tensors carry metadata, kernels charge costs
+    # but never materialize data. Used for paper-scale benchmark points.
+    shape_only: bool = False
+    # Local-session hardware (ignored when a target is given).
+    num_gpus: int = 1
+    gpu_model: GPUModel = GENERIC_GPU
+
+
+class Session:
+    """Encapsulates one client's connection to a (simulated) runtime."""
+
+    def __init__(
+        self,
+        target: Union[str, Server, None] = None,
+        graph: Optional[Graph] = None,
+        config: Optional[SessionConfig] = None,
+        machine: Optional[Machine] = None,
+        env: Optional[Environment] = None,
+    ):
+        self.graph = graph or get_default_graph()
+        self.config = config or SessionConfig()
+        self._closed = False
+        if isinstance(target, Server):
+            self._master = target
+            self.machine = target.machine
+        elif target:
+            if machine is None:
+                raise InvalidArgumentError(
+                    "A string target needs machine= to resolve addresses "
+                    "(the simulation has no real network)"
+                )
+            address = target.split("://", 1)[-1]
+            self._master = machine.resolve(address)
+            self.machine = machine
+        else:
+            # Local session: build a private single-node machine unless the
+            # caller supplies one.
+            self.machine = machine or localhost(
+                env or Environment(),
+                num_gpus=self.config.num_gpus,
+                gpu_model=self.config.gpu_model,
+            )
+            address = "localhost:0"
+            if address in self.machine.address_table:
+                self._master = self.machine.resolve(address)
+            else:
+                self._master = Server(
+                    ClusterSpec({"localhost": [address]}),
+                    job_name="localhost",
+                    task_index=0,
+                    machine=self.machine,
+                    protocol="grpc+verbs",
+                    config=ServerConfig(
+                        allow_soft_placement=self.config.allow_soft_placement
+                    ),
+                    node_name="localhost",
+                )
+        self.env: Environment = self.machine.env
+        # Plan cache: repeated runs of the same fetches/feeds on an
+        # unchanged graph reuse the pruned/partitioned plan (TF caches the
+        # same way: graphs are registered with workers once).
+        self._plan_cache: dict = {}
+        self._plans_in_flight: set[int] = set()
+
+    # -- context management ----------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._closed = True
+
+    # -- cluster resolution ------------------------------------------------------
+    @property
+    def master(self) -> Server:
+        return self._master
+
+    def _task_runtimes(self) -> dict:
+        runtimes = {}
+        spec = self._master.cluster_spec
+        for job in spec.jobs:
+            for index in spec.task_indices(job):
+                address = spec.task_address(job, index)
+                server = self.machine.resolve(address)
+                runtimes[(job, index)] = server.runtime
+        return runtimes
+
+    def _placer(self, task_runtimes: dict) -> Placer:
+        task_devices = {
+            key: runtime.device_counts() for key, runtime in task_runtimes.items()
+        }
+        return Placer(
+            task_devices,
+            default_job=self._master.job_name,
+            default_task=self._master.task_index,
+            allow_soft_placement=self.config.allow_soft_placement,
+        )
+
+    # -- fetch handling -----------------------------------------------------------
+    def _parse_fetches(self, fetches):
+        """Flatten fetches; returns (structure, fetch_ops, fetch_tensors)."""
+        fetch_ops: list[Operation] = []
+        fetch_tensors: list[Tensor] = []
+        slots: list = []  # per leaf: ("op",) or ("tensor", index)
+
+        def add_leaf(item):
+            from repro.core.ops.state_ops import Variable
+
+            if isinstance(item, Variable):
+                item = item.value()
+            if isinstance(item, str):
+                if ":" in item:
+                    item = self.graph.get_tensor_by_name(item)
+                else:
+                    item = self.graph.get_operation_by_name(item)
+            if isinstance(item, Tensor):
+                if item.graph is not self.graph:
+                    raise InvalidArgumentError(
+                        f"Fetch {item.name} is from a different graph"
+                    )
+                slots.append(("tensor", len(fetch_tensors)))
+                fetch_tensors.append(item)
+            elif isinstance(item, Operation):
+                slots.append(("op",))
+                fetch_ops.append(item)
+            else:
+                raise InvalidArgumentError(
+                    f"Cannot fetch object of type {type(item).__name__}: {item!r}"
+                )
+
+        if isinstance(fetches, (list, tuple)):
+            for item in fetches:
+                add_leaf(item)
+            structure = ("list", len(fetches))
+        else:
+            add_leaf(fetches)
+            structure = ("single",)
+        return structure, fetch_ops, fetch_tensors
+
+    # -- running -------------------------------------------------------------------
+    def run(self, fetches, feed_dict=None, options: Optional[RunOptions] = None,
+            run_metadata: Optional[RunMetadata] = None):
+        """Execute the graph; blocks until the simulated run completes."""
+        proc = self.env.process(
+            self.run_gen(fetches, feed_dict, options, run_metadata),
+            name="session.run",
+        )
+        return self.env.run(until=proc)
+
+    def run_gen(self, fetches, feed_dict=None, options: Optional[RunOptions] = None,
+                run_metadata: Optional[RunMetadata] = None):
+        """Coroutine version of :meth:`run` for concurrent sim processes."""
+        if self._closed:
+            raise InvalidArgumentError("Session has been closed")
+        env = self.env
+        run_id = next(_RUN_IDS)
+        structure, fetch_ops, fetch_tensors = self._parse_fetches(fetches)
+        feeds = self._validate_feeds(_normalize_feeds(feed_dict))
+        task_runtimes = self._task_runtimes()
+        placer = self._placer(task_runtimes)
+        client_device = canonical_device(
+            self._master.job_name, self._master.task_index, "cpu", 0
+        )
+        cache_key = (
+            tuple(op.name for op in fetch_ops),
+            tuple(t.name for t in fetch_tensors),
+            tuple(sorted(feeds)),
+            self.graph.version,
+        )
+        plan = self._plan_cache.get(cache_key)
+        if plan is None or id(plan) in self._plans_in_flight:
+            plan = build_plan(
+                self.graph,
+                fetch_ops,
+                fetch_tensors,
+                feeds,
+                placer,
+                client_device,
+                run_id,
+            )
+            self._plan_cache[cache_key] = plan
+        else:
+            # Reset per-run state; rendezvous keys may repeat because every
+            # run gets a fresh Rendezvous instance.
+            for item in plan.items:
+                item.process = None
+                item.out_values = None
+        if self.config.log_device_placement:
+            for name, device in sorted(plan.placements.items()):
+                print(f"{name}: ({device})")
+
+        trace = bool(options and options.trace_level >= RunOptions.FULL_TRACE)
+        metadata = run_metadata if run_metadata is not None else RunMetadata()
+        metadata.start_time = env.now
+
+        # Administrative RPC: client -> master round trip, plus parallel
+        # triggers to every remote participating task (gRPC always carries
+        # this control traffic, whatever the data protocol).
+        grpc_rtt = 2 * protocol_latency("grpc")
+        admin = grpc_rtt
+        remote_tasks = [
+            key
+            for key in plan.devices_by_task
+            if key != (self._master.job_name, self._master.task_index)
+        ]
+        if remote_tasks:
+            admin += grpc_rtt
+        yield env.timeout(admin)
+
+        rendezvous = Rendezvous(env)
+        state = ExecutionState(
+            env=env,
+            plan=plan,
+            rendezvous=rendezvous,
+            task_runtimes=task_runtimes,
+            protocol=self._master.data_protocol,
+            feeds=feeds,
+            symbolic=self.config.shape_only,
+            run_id=run_id,
+            graph_seed=self.graph.seed,
+            metadata=metadata,
+            trace=trace,
+        )
+        self._plans_in_flight.add(id(plan))
+        processes = launch_plan(state)
+        try:
+            if processes:
+                yield AllOf(env, processes)
+            values = []
+            for source in plan.fetch_sources:
+                if source[0] is FEED:
+                    values.append(np.asarray(feeds[source[1]]))
+                else:
+                    item, idx = source
+                    values.append(item.out_values[idx])
+        finally:
+            state.release_all()
+            self._plans_in_flight.discard(id(plan))
+        metadata.end_time = env.now
+
+        if structure[0] == "single":
+            if fetch_tensors:
+                return values[0]
+            return None
+        # Preserve the original list order of mixed op/tensor fetches.
+        out = []
+        value_iter = iter(values)
+        for slot in self._iter_slots(fetches):
+            out.append(next(value_iter) if slot else None)
+        return out
+
+    def _validate_feeds(self, feeds: dict) -> dict:
+        """Check every feed against the fed tensor's dtype and shape, and
+        coerce concrete values to the right NumPy dtype."""
+        from repro.core.tensor import SymbolicValue, TensorShape
+
+        validated = {}
+        for name, value in feeds.items():
+            tensor = self.graph.get_tensor_by_name(name)
+            if isinstance(value, SymbolicValue):
+                if value.dtype != tensor.dtype:
+                    raise InvalidArgumentError(
+                        f"Feed for {name} has dtype {value.dtype.name}; "
+                        f"tensor expects {tensor.dtype.name}"
+                    )
+                fed_shape = TensorShape(value.shape)
+            else:
+                value = np.asarray(value, dtype=tensor.dtype.np_dtype)
+                fed_shape = TensorShape(value.shape)
+            if not tensor.shape.is_compatible_with(fed_shape):
+                raise InvalidArgumentError(
+                    f"Feed for {name} has shape {fed_shape}; tensor expects "
+                    f"{tensor.shape}"
+                )
+            validated[name] = value
+        return validated
+
+    def _iter_slots(self, fetches):
+        from repro.core.ops.state_ops import Variable
+
+        for item in fetches:
+            if isinstance(item, Operation):
+                yield False
+            elif isinstance(item, str) and ":" not in item:
+                yield False
+            elif isinstance(item, (Tensor, Variable)):
+                yield True
+            else:
+                yield True
+
+    def list_devices(self) -> list[str]:
+        names = []
+        for runtime in self._task_runtimes().values():
+            names.extend(runtime.device_names)
+        return sorted(names)
+
+    def __repr__(self) -> str:
+        return f"<Session target={self._master.target!r}>"

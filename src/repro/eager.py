@@ -1,0 +1,191 @@
+"""Eager execution — the imperative mode the paper anticipates.
+
+Section II notes that TensorFlow "also supports eager execution that
+follows an imperative style and it will likely become the default
+execution mode in future releases". This module provides that mode for
+the same kernel library: ops execute immediately on NumPy values, no
+graph or session involved, while still going through the registered
+kernels (so costs could be accounted identically).
+
+    from repro import eager
+
+    ctx = eager.EagerContext(seed=0)
+    a = ctx.random_uniform([4, 4])
+    b = ctx.matmul(a, a)          # a plain numpy array, available now
+
+Stateful structures (queues, datasets, distributed placement) remain
+graph-mode features, as they were in TF 1.x eager.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro import dtypes
+from repro.core.graph import Graph
+from repro.core.kernels.registry import KernelContext, ResourceManager, get_kernel
+from repro.core.tensor import TensorShape
+from repro.errors import InvalidArgumentError, UnimplementedError
+
+__all__ = ["EagerContext"]
+
+# Ops whose kernels block on simulation events: not available eagerly.
+_GRAPH_ONLY = {
+    "QueueEnqueue", "QueueDequeue", "QueueSize", "QueueClose", "FIFOQueue",
+    "IteratorV2", "IteratorGetNext", "ReadTile", "WriteTile", "Placeholder",
+}
+
+
+class _OpStub:
+    """Minimal stand-in for an Operation, enough for any kernel."""
+
+    __slots__ = ("type", "name", "attrs", "outputs", "node_id")
+
+    def __init__(self, op_type: str, name: str, attrs: dict, output_dtypes,
+                 node_id: int = 0):
+        self.type = op_type
+        self.name = name
+        self.attrs = attrs
+        # Distinct ids keep random streams independent across eager calls.
+        self.node_id = node_id
+        self.outputs = [
+            _TensorStub(f"{name}:{i}", dt) for i, dt in enumerate(output_dtypes)
+        ]
+
+    def get_attr(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+
+class _TensorStub:
+    __slots__ = ("name", "dtype", "shape")
+
+    def __init__(self, name: str, dtype):
+        self.name = name
+        self.dtype = dtypes.as_dtype(dtype)
+        self.shape = TensorShape(None)
+
+
+class EagerContext:
+    """Executes kernels immediately, holding variable state imperatively."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._resources = ResourceManager(name="eager")
+        self._seed = seed
+        self._op_counter = 0
+        self._ctx = KernelContext(
+            symbolic=False,
+            resources=self._resources,
+            graph_seed=seed,
+        )
+
+    # -- core execution --------------------------------------------------------
+    def execute(self, op_type: str, inputs: Sequence[Any] = (),
+                attrs: Optional[dict] = None, output_dtypes=None):
+        """Run one kernel immediately; returns its output value(s)."""
+        if op_type in _GRAPH_ONLY:
+            raise UnimplementedError(
+                f"{op_type} requires graph mode (queues, datasets and tile "
+                f"I/O depend on the simulated runtime)"
+            )
+        self._op_counter += 1
+        arrays = [np.asarray(v) for v in inputs]
+        if output_dtypes is None:
+            output_dtypes = [arrays[0].dtype if arrays else np.float32]
+        op = _OpStub(op_type, f"eager_{op_type}_{self._op_counter}",
+                     attrs or {}, output_dtypes, node_id=self._op_counter)
+        kernel = get_kernel(op_type)
+        result = kernel(op, arrays, self._ctx)
+        if not isinstance(result, tuple):
+            raise UnimplementedError(
+                f"{op_type} kernel is generator-based; graph mode only"
+            )
+        outputs, _cost = result
+        if len(outputs) == 1:
+            return outputs[0]
+        return outputs
+
+    # -- convenience wrappers ----------------------------------------------------
+    def constant(self, value, dtype=None):
+        arr = np.asarray(value)
+        if dtype is not None:
+            arr = arr.astype(dtypes.as_dtype(dtype).np_dtype)
+        return arr
+
+    def add(self, x, y):
+        return self.execute("Add", [x, y])
+
+    def subtract(self, x, y):
+        return self.execute("Sub", [x, y])
+
+    def multiply(self, x, y):
+        return self.execute("Mul", [x, y])
+
+    def divide(self, x, y):
+        return self.execute("Div", [x, y])
+
+    def matmul(self, a, b, transpose_a: bool = False, transpose_b: bool = False):
+        return self.execute(
+            "MatMul", [a, b],
+            attrs={"transpose_a": transpose_a, "transpose_b": transpose_b},
+        )
+
+    def dot(self, x, y):
+        return self.execute("Dot", [x, y])
+
+    def reduce_sum(self, x, axis=None, keepdims: bool = False):
+        axes = (axis,) if isinstance(axis, int) else axis
+        return self.execute("Sum", [x], attrs={"axis": axes, "keepdims": keepdims})
+
+    def sqrt(self, x):
+        return self.execute("Sqrt", [x])
+
+    def fft(self, x):
+        x = np.asarray(x, dtype=np.complex128)
+        return self.execute("FFT", [x], output_dtypes=[np.complex128])
+
+    def ifft(self, x):
+        x = np.asarray(x, dtype=np.complex128)
+        return self.execute("IFFT", [x], output_dtypes=[np.complex128])
+
+    def random_uniform(self, shape, minval: float = 0.0, maxval: float = 1.0,
+                       dtype=dtypes.float32, seed: Optional[int] = None):
+        return self.execute(
+            "RandomUniform", [],
+            attrs={"shape": tuple(int(d) for d in shape), "seed": seed,
+                   "minval": float(minval), "maxval": float(maxval)},
+            output_dtypes=[dtypes.as_dtype(dtype).np_dtype],
+        )
+
+    def random_normal(self, shape, mean: float = 0.0, stddev: float = 1.0,
+                      dtype=dtypes.float32, seed: Optional[int] = None):
+        return self.execute(
+            "RandomNormal", [],
+            attrs={"shape": tuple(int(d) for d in shape), "seed": seed,
+                   "mean": float(mean), "stddev": float(stddev)},
+            output_dtypes=[dtypes.as_dtype(dtype).np_dtype],
+        )
+
+    # -- imperative variables ------------------------------------------------------
+    def variable(self, initial_value, name: Optional[str] = None) -> str:
+        """Create a named mutable value; returns its handle (the name)."""
+        name = name or f"eager_var_{self._op_counter}"
+        self._op_counter += 1
+        if name in self._resources.variables:
+            raise InvalidArgumentError(f"Variable {name!r} already exists")
+        self._resources.variables[name] = np.asarray(initial_value).copy()
+        return name
+
+    def read(self, handle: str):
+        try:
+            return self._resources.variables[handle]
+        except KeyError:
+            raise InvalidArgumentError(f"No variable {handle!r}") from None
+
+    def assign(self, handle: str, value) -> None:
+        self.read(handle)  # existence check
+        self._resources.variables[handle] = np.asarray(value).copy()
+
+    def assign_add(self, handle: str, delta) -> None:
+        self._resources.variables[handle] = self.read(handle) + np.asarray(delta)

@@ -1,0 +1,132 @@
+"""Exception hierarchy for the ``repro`` framework.
+
+The error classes mirror TensorFlow's status codes (which themselves mirror
+gRPC status codes): every failure inside the graph runtime, the distributed
+runtime, or the simulated cluster raises a subclass of :class:`ReproError`
+carrying a machine-readable ``code``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CancelledError",
+    "InvalidArgumentError",
+    "DeadlineExceededError",
+    "NotFoundError",
+    "AlreadyExistsError",
+    "PermissionDeniedError",
+    "ResourceExhaustedError",
+    "FailedPreconditionError",
+    "AbortedError",
+    "OutOfRangeError",
+    "UnimplementedError",
+    "InternalError",
+    "UnavailableError",
+    "DataLossError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all framework errors.
+
+    Attributes:
+        code: short machine-readable status string (gRPC status name).
+        node_def: optional name of the graph operation involved.
+    """
+
+    code = "UNKNOWN"
+
+    def __init__(self, message: str, node_def: str | None = None):
+        self.node_def = node_def
+        if node_def is not None:
+            message = f"{message} [op: {node_def}]"
+        super().__init__(message)
+
+    @property
+    def message(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+
+class CancelledError(ReproError):
+    """The operation was cancelled (e.g. a queue was closed mid-dequeue)."""
+
+    code = "CANCELLED"
+
+
+class InvalidArgumentError(ReproError):
+    """A caller supplied an argument the op cannot accept (bad shape/dtype)."""
+
+    code = "INVALID_ARGUMENT"
+
+
+class DeadlineExceededError(ReproError):
+    """A blocking runtime operation exceeded its deadline."""
+
+    code = "DEADLINE_EXCEEDED"
+
+
+class NotFoundError(ReproError):
+    """A named entity (op, device, file, checkpoint) does not exist."""
+
+    code = "NOT_FOUND"
+
+
+class AlreadyExistsError(ReproError):
+    """An entity that should be unique already exists."""
+
+    code = "ALREADY_EXISTS"
+
+
+class PermissionDeniedError(ReproError):
+    """The caller may not perform the operation."""
+
+    code = "PERMISSION_DENIED"
+
+
+class ResourceExhaustedError(ReproError):
+    """A finite resource was exhausted (device memory, graph size limit)."""
+
+    code = "RESOURCE_EXHAUSTED"
+
+
+class FailedPreconditionError(ReproError):
+    """System state rejects the operation (e.g. uninitialized variable)."""
+
+    code = "FAILED_PRECONDITION"
+
+
+class AbortedError(ReproError):
+    """The operation was aborted by a concurrent actor."""
+
+    code = "ABORTED"
+
+
+class OutOfRangeError(ReproError):
+    """Iteration past the end of a dataset / dequeue on a drained queue."""
+
+    code = "OUT_OF_RANGE"
+
+
+class UnimplementedError(ReproError):
+    """The requested feature has no registered implementation."""
+
+    code = "UNIMPLEMENTED"
+
+
+class InternalError(ReproError):
+    """An invariant of the runtime itself was broken."""
+
+    code = "INTERNAL"
+
+
+class UnavailableError(ReproError):
+    """A service (simulated server, link) is not reachable."""
+
+    code = "UNAVAILABLE"
+
+
+class DataLossError(ReproError):
+    """Unrecoverable corruption detected (bad checkpoint, bad wire data)."""
+
+    code = "DATA_LOSS"

@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes ``run_*`` (the sweep) and ``format_*`` (the table the
+paper's figure plots), plus a ``main()`` so it can run standalone::
+
+    python -m repro.figures.fig7_stream
+    python -m repro.figures.fig8_matmul --full
+    python -m repro.figures.fig10_cg
+    python -m repro.figures.fig11_fft
+    python -m repro.figures.table1_nodes --topology
+"""
+
+__all__ = [
+    "fig7_stream",
+    "fig8_matmul",
+    "fig10_cg",
+    "fig11_fft",
+    "table1_nodes",
+]

@@ -1,0 +1,118 @@
+"""Fig. 10 — CG solver strong scaling.
+
+Sweeps problem sizes 16384/32768/65536 over 2-8 GPUs (Tegner K80,
+Kebnekaise V100) and 2-16 GPUs (Kebnekaise K80). Points whose row block
+does not fit device memory come out as OOM — matching the paper's omitted
+bars ("we do not report result for problem size 65536 x 65536 due to
+insufficient memory").
+
+The paper runs 500 iterations; the per-iteration time is constant, so the
+driver defaults to a shorter loop and reports Gflops/s with the matching
+flop count (identical up to warm-up noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.cg import CGResult, run_cg
+from repro.errors import ResourceExhaustedError
+from repro.perf.reporting import comparison_row, format_table
+
+__all__ = ["run_fig10", "format_fig10", "paper_comparison", "SWEEP"]
+
+SWEEP = {
+    "tegner-k80": dict(sizes=(16384, 32768, 65536), gpus=(2, 4, 8)),
+    "kebnekaise-k80": dict(sizes=(16384, 32768, 65536), gpus=(2, 4, 8, 16)),
+    "kebnekaise-v100": dict(sizes=(16384, 32768, 65536), gpus=(2, 4, 8)),
+}
+
+
+@dataclass
+class Fig10Point:
+    system: str
+    n: int
+    gpus: int
+    result: Optional[CGResult]  # None => OOM
+
+
+def run_fig10(iterations: int = 40, quick: bool = True) -> list[Fig10Point]:
+    points = []
+    for system, params in SWEEP.items():
+        for n in params["sizes"]:
+            for gpus in params["gpus"]:
+                if quick and n == 65536 and gpus < 8:
+                    # Big blocks on few GPUs OOM anyway (see the paper);
+                    # skip the costly setup in quick mode.
+                    points.append(Fig10Point(system, n, gpus, None))
+                    continue
+                try:
+                    result = run_cg(
+                        system=system,
+                        n=n,
+                        num_gpus=gpus,
+                        iterations=iterations,
+                        shape_only=True,
+                    )
+                except ResourceExhaustedError:
+                    result = None
+                points.append(Fig10Point(system, n, gpus, result))
+    return points
+
+
+def format_fig10(points: list[Fig10Point]) -> str:
+    headers = ["System", "N", "GPUs", "Gflops/s", "ms/iteration"]
+    rows = []
+    for p in points:
+        if p.result is None:
+            rows.append([p.system, p.n, p.gpus, "OOM", "-"])
+        else:
+            rows.append([
+                p.system, p.n, p.gpus, p.result.gflops,
+                p.result.seconds_per_iteration * 1e3,
+            ])
+    return format_table(headers, rows, title="Fig. 10 — CG solver")
+
+
+def _gflops(points, system, n, gpus) -> Optional[float]:
+    for p in points:
+        if (p.system, p.n, p.gpus) == (system, n, gpus) and p.result is not None:
+            return p.result.gflops
+    return None
+
+
+def paper_comparison(points: list[Fig10Point]) -> str:
+    def scaling(system, n, g_lo, g_hi):
+        lo, hi = _gflops(points, system, n, g_lo), _gflops(points, system, n, g_hi)
+        return None if (lo is None or hi is None) else hi / lo
+
+    pairs = [
+        ("cg/tegner-k80/32768/scaling-2to4", scaling("tegner-k80", 32768, 2, 4)),
+        ("cg/kebnekaise-k80/32768/scaling-2to4",
+         scaling("kebnekaise-k80", 32768, 2, 4)),
+        ("cg/kebnekaise-k80/32768/scaling-4to8",
+         scaling("kebnekaise-k80", 32768, 4, 8)),
+        ("cg/kebnekaise-k80/65536/scaling-8to16",
+         scaling("kebnekaise-k80", 65536, 8, 16)),
+        ("cg/kebnekaise-v100/32768/scaling-2to4",
+         scaling("kebnekaise-v100", 32768, 2, 4)),
+        ("cg/kebnekaise-v100/32768/scaling-4to8",
+         scaling("kebnekaise-v100", 32768, 4, 8)),
+        ("cg/kebnekaise-v100/8gpu-gflops",
+         _gflops(points, "kebnekaise-v100", 32768, 8)),
+    ]
+    rows = [comparison_row(k, v) for k, v in pairs if v is not None]
+    return format_table(["target", "paper", "measured", "ratio"], rows,
+                        title="Fig. 10 — paper vs measured")
+
+
+def main() -> None:
+    points = run_fig10()
+    print(format_fig10(points))
+    print()
+    print(paper_comparison(points))
+
+
+if __name__ == "__main__":
+    main()

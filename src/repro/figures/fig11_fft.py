@@ -1,0 +1,95 @@
+"""Fig. 11 — distributed FFT strong scaling.
+
+Paper configurations: one merger plus 2/4/8 GPUs; Tegner K420 transforms
+N = 2^29 in 64 tiles, Tegner K80 transforms N = 2^31 in 128 tiles. The
+metric is Gflops/s measured to the point all tiles are collected by the
+merger (the serial Python merge is excluded, as the paper explains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.fft import FFTResult, run_fft
+from repro.errors import ResourceExhaustedError
+from repro.perf.reporting import comparison_row, format_table
+
+__all__ = ["run_fig11", "format_fig11", "paper_comparison", "SWEEP"]
+
+SWEEP = {
+    "tegner-k420": dict(n=1 << 29, tiles=64, gpus=(2, 4, 8)),
+    "tegner-k80": dict(n=1 << 31, tiles=128, gpus=(2, 4, 8)),
+}
+
+
+@dataclass
+class Fig11Point:
+    system: str
+    n: int
+    gpus: int
+    result: Optional[FFTResult]
+
+
+def run_fig11(quick: bool = True) -> list[Fig11Point]:
+    points = []
+    for system, params in SWEEP.items():
+        for gpus in params["gpus"]:
+            try:
+                result = run_fft(
+                    system=system,
+                    n=params["n"],
+                    num_tiles=params["tiles"],
+                    num_gpus=gpus,
+                    shape_only=True,
+                )
+            except ResourceExhaustedError:
+                result = None
+            points.append(Fig11Point(system, params["n"], gpus, result))
+    return points
+
+
+def format_fig11(points: list[Fig11Point]) -> str:
+    headers = ["System", "N", "Mergers+GPUs", "Gflops/s (collect)",
+               "collect [s]", "merge [s]"]
+    rows = []
+    for p in points:
+        if p.result is None:
+            rows.append([p.system, p.n, f"1+{p.gpus}", "OOM", "-", "-"])
+        else:
+            rows.append([
+                p.system, p.n, f"1+{p.gpus}", p.result.gflops,
+                p.result.collect_seconds, p.result.merge_seconds,
+            ])
+    return format_table(headers, rows, title="Fig. 11 — FFT")
+
+
+def _gflops(points, system, gpus) -> Optional[float]:
+    for p in points:
+        if (p.system, p.gpus) == (system, gpus) and p.result is not None:
+            return p.result.gflops
+    return None
+
+
+def paper_comparison(points: list[Fig11Point]) -> str:
+    rows = []
+    for system in SWEEP:
+        lo, hi = _gflops(points, system, 2), _gflops(points, system, 4)
+        if lo is not None and hi is not None:
+            rows.append(comparison_row("fft/tegner/scaling-2to4", hi / lo))
+    peak = _gflops(points, "tegner-k80", 8)
+    if peak is not None:
+        rows.append(comparison_row("fft/tegner-k80/peak-gflops", peak))
+    return format_table(["target", "paper", "measured", "ratio"], rows,
+                        title="Fig. 11 — paper vs measured")
+
+
+def main() -> None:
+    points = run_fig11()
+    print(format_fig11(points))
+    print()
+    print(paper_comparison(points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Fig. 7 — STREAM communication performance.
+
+Sweeps the three transports (gRPC, MPI, RDMA verbs) over the paper's
+three placements (Tegner GPU, Tegner CPU, Kebnekaise GPU) and transfer
+sizes (2, 16, 128 MB), reporting MB/s like the paper's grouped bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.stream import StreamResult, run_stream
+from repro.perf.reporting import comparison_row, format_table
+
+__all__ = ["run_fig7", "format_fig7", "paper_comparison", "PLATFORMS",
+           "PROTOCOLS", "SIZES_MB"]
+
+# (label, system, device) — the paper's three bar groups.
+PLATFORMS = [
+    ("Tegner GPU", "tegner-k420", "gpu"),
+    ("Tegner CPU", "tegner-k420", "cpu"),
+    ("Kebnekaise GPU", "kebnekaise-k80", "gpu"),
+]
+PROTOCOLS = [("gRPC", "grpc"), ("MPI", "grpc+mpi"), ("RDMA", "grpc+verbs")]
+SIZES_MB = (2, 16, 128)
+
+
+@dataclass
+class Fig7Point:
+    platform: str
+    protocol: str
+    size_mb: float
+    result: StreamResult
+
+
+def run_fig7(iterations: int = 25, sizes=SIZES_MB) -> list[Fig7Point]:
+    """Run the full Fig. 7 sweep (27 bars)."""
+    points = []
+    for platform, system, device in PLATFORMS:
+        for proto_label, protocol in PROTOCOLS:
+            for size in sizes:
+                result = run_stream(
+                    system=system,
+                    device=device,
+                    size_mb=size,
+                    protocol=protocol,
+                    iterations=iterations,
+                    shape_only=True,
+                )
+                points.append(Fig7Point(platform, proto_label, size, result))
+    return points
+
+
+def format_fig7(points: list[Fig7Point]) -> str:
+    """The figure as a table: rows = platform x protocol, cols = sizes."""
+    sizes = sorted({p.size_mb for p in points})
+    headers = ["Platform", "Protocol"] + [f"{s:g} MB [MB/s]" for s in sizes]
+    rows = []
+    for platform, _sys, _dev in PLATFORMS:
+        for proto_label, _proto in PROTOCOLS:
+            row = [platform, proto_label]
+            for size in sizes:
+                match = [
+                    p for p in points
+                    if p.platform == platform and p.protocol == proto_label
+                    and p.size_mb == size
+                ]
+                row.append(match[0].result.bandwidth_mbs if match else "-")
+            rows.append(row)
+    return format_table(headers, rows, title="Fig. 7 — STREAM bandwidth")
+
+
+def paper_comparison(points: list[Fig7Point]) -> str:
+    """Paper-vs-measured rows for the quantities the paper states."""
+    def find(platform, protocol, size):
+        for p in points:
+            if (p.platform, p.protocol, p.size_mb) == (platform, protocol, size):
+                return p.result.bandwidth_mbs
+        return None
+
+    keys = [
+        ("stream/tegner-cpu/rdma/128MB", find("Tegner CPU", "RDMA", 128)),
+        ("stream/tegner-gpu/rdma/128MB", find("Tegner GPU", "RDMA", 128)),
+        ("stream/kebnekaise-gpu/rdma/128MB", find("Kebnekaise GPU", "RDMA", 128)),
+        ("stream/tegner-gpu/mpi/128MB", find("Tegner GPU", "MPI", 128)),
+        ("stream/kebnekaise-gpu/mpi/128MB", find("Kebnekaise GPU", "MPI", 128)),
+        ("stream/tegner-gpu/grpc/128MB", find("Tegner GPU", "gRPC", 128)),
+    ]
+    rows = [comparison_row(key, value) for key, value in keys if value is not None]
+    return format_table(["target", "paper", "measured", "ratio"], rows,
+                        title="Fig. 7 — paper vs measured")
+
+
+def main() -> None:
+    points = run_fig7()
+    print(format_fig7(points))
+    print()
+    print(paper_comparison(points))
+
+
+if __name__ == "__main__":
+    main()

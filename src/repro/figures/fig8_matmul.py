@@ -1,0 +1,122 @@
+"""Fig. 8 — tiled matrix-multiplication strong scaling.
+
+Sweeps the paper's configurations ("number of reducers + number of GPUs"
+on the x-axis, two reducers throughout):
+
+* Tegner K420, tile 4096², problem sizes 16384/32768/65536, 2-8 GPUs;
+* Tegner K80, tile 8192², sizes 32768/65536, 2-8 GPUs;
+* Kebnekaise K80, tile 8192², sizes 32768/65536, 2-16 GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.matmul import MatmulResult, run_matmul
+from repro.errors import ResourceExhaustedError
+from repro.perf.reporting import comparison_row, format_table
+
+__all__ = ["run_fig8", "format_fig8", "paper_comparison", "SWEEP"]
+
+NUM_REDUCERS = 2
+
+SWEEP = {
+    "tegner-k420": dict(tile=4096, sizes=(16384, 32768, 65536), gpus=(2, 4, 8)),
+    "tegner-k80": dict(tile=8192, sizes=(32768, 65536), gpus=(2, 4, 8)),
+    "kebnekaise-k80": dict(tile=8192, sizes=(32768, 65536), gpus=(2, 4, 8, 16)),
+}
+
+# The 65536 problem at tile 4096 means 4096 tile products; it is the one
+# slow sweep point, so quick mode (used by the benches) drops it.
+QUICK_SKIP = {("tegner-k420", 65536)}
+
+
+@dataclass
+class Fig8Point:
+    system: str
+    n: int
+    gpus: int
+    result: Optional[MatmulResult]  # None => OOM (paper omits the bar)
+
+
+def run_fig8(quick: bool = True) -> list[Fig8Point]:
+    points = []
+    for system, params in SWEEP.items():
+        for n in params["sizes"]:
+            if quick and (system, n) in QUICK_SKIP:
+                continue
+            for gpus in params["gpus"]:
+                try:
+                    result = run_matmul(
+                        system=system,
+                        n=n,
+                        tile=params["tile"],
+                        num_gpus=gpus,
+                        num_reducers=NUM_REDUCERS,
+                        shape_only=True,
+                    )
+                except ResourceExhaustedError:
+                    result = None
+                points.append(Fig8Point(system, n, gpus, result))
+    return points
+
+
+def format_fig8(points: list[Fig8Point]) -> str:
+    headers = ["System", "N", "Reducers+GPUs", "Gflops/s", "Elapsed [s]"]
+    rows = []
+    for p in points:
+        if p.result is None:
+            rows.append([p.system, p.n, f"{NUM_REDUCERS}+{p.gpus}", "OOM", "-"])
+        else:
+            rows.append([
+                p.system, p.n, f"{NUM_REDUCERS}+{p.gpus}",
+                p.result.gflops, p.result.elapsed,
+            ])
+    return format_table(headers, rows, title="Fig. 8 — tiled matmul")
+
+
+def _gflops(points, system, n, gpus) -> Optional[float]:
+    for p in points:
+        if (p.system, p.n, p.gpus) == (system, n, gpus) and p.result is not None:
+            return p.result.gflops
+    return None
+
+
+def paper_comparison(points: list[Fig8Point]) -> str:
+    rows = []
+
+    def scaling(system, n, g_lo, g_hi):
+        lo, hi = _gflops(points, system, n, g_lo), _gflops(points, system, n, g_hi)
+        return None if (lo is None or hi is None) else hi / lo
+
+    pairs = [
+        ("matmul/tegner-k420/32768/scaling-2to4",
+         scaling("tegner-k420", 32768, 2, 4)),
+        ("matmul/tegner-k420/32768/scaling-4to8",
+         scaling("tegner-k420", 32768, 4, 8)),
+        ("matmul/tegner-k80/65536/scaling-2to4",
+         scaling("tegner-k80", 65536, 2, 4)),
+        ("matmul/kebnekaise-k80/32768/scaling-2to4",
+         scaling("kebnekaise-k80", 32768, 2, 4)),
+        ("matmul/kebnekaise-k80/32768/peak-16gpu",
+         _gflops(points, "kebnekaise-k80", 32768, 16)),
+    ]
+    for key, value in pairs:
+        if value is not None:
+            rows.append(comparison_row(key, value))
+    return format_table(["target", "paper", "measured", "ratio"], rows,
+                        title="Fig. 8 — paper vs measured")
+
+
+def main(quick: bool = True) -> None:
+    points = run_fig8(quick=quick)
+    print(format_fig8(points))
+    print()
+    print(paper_comparison(points))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(quick="--full" not in sys.argv)

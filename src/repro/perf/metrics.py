@@ -1,0 +1,60 @@
+"""Flop-count conventions and derived metrics, exactly as the paper defines.
+
+* Matmul: ``2N^3 - N^2`` (Section VI-B).
+* CG: ``iterations * 2 * N^2`` — "500 is the number of iterations we run
+  per test and N^2 belongs to the run time dominating matrix vector
+  multiplication" (Section VI-C).
+* FFT: ``5 N log2 N`` (Section VI-D).
+* Bandwidth is reported in MB/s with MB = 2**20 bytes (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidArgumentError
+
+__all__ = ["matmul_flops", "cg_flops", "fft_flops", "bandwidth_mbs",
+           "gflops", "scaling_factor"]
+
+MB = 1024 * 1024
+
+
+def matmul_flops(n: int) -> float:
+    """Flop count of an N x N matrix multiplication (paper convention)."""
+    if n < 1:
+        raise InvalidArgumentError(f"n must be positive, got {n}")
+    return 2.0 * float(n) ** 3 - float(n) ** 2
+
+
+def cg_flops(n: int, iterations: int = 500) -> float:
+    """Flop count of a CG run (paper convention: matvec-dominated)."""
+    if n < 1 or iterations < 1:
+        raise InvalidArgumentError("n and iterations must be positive")
+    return float(iterations) * 2.0 * float(n) ** 2
+
+
+def fft_flops(n: int) -> float:
+    """Flop count of a length-N FFT (Cooley-Tukey operation count)."""
+    if n < 2:
+        raise InvalidArgumentError(f"n must be >= 2, got {n}")
+    return 5.0 * float(n) * math.log2(n)
+
+
+def gflops(flops: float, seconds: float) -> float:
+    if seconds <= 0:
+        raise InvalidArgumentError(f"seconds must be positive, got {seconds}")
+    return flops / seconds / 1e9
+
+
+def bandwidth_mbs(nbytes: float, seconds: float) -> float:
+    if seconds <= 0:
+        raise InvalidArgumentError(f"seconds must be positive, got {seconds}")
+    return nbytes / seconds / MB
+
+
+def scaling_factor(perf_before: float, perf_after: float) -> float:
+    """Speedup when scaling resources, e.g. Gflops at 4 GPUs / at 2 GPUs."""
+    if perf_before <= 0:
+        raise InvalidArgumentError("perf_before must be positive")
+    return perf_after / perf_before

@@ -1,0 +1,53 @@
+"""Plain-text tables and paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.perf.calibration import paper_target
+
+__all__ = ["format_table", "ratio_to_paper", "comparison_row"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def ratio_to_paper(key: str, measured: float) -> float:
+    """measured / paper for the named target."""
+    return measured / paper_target(key).value
+
+
+def comparison_row(key: str, measured: float) -> list:
+    """[key, paper value, measured, ratio, source] row for report tables."""
+    target = paper_target(key)
+    flag = "~" if target.approx else ""
+    return [
+        key,
+        f"{flag}{_fmt(target.value)} {target.unit}",
+        f"{_fmt(measured)} {target.unit}",
+        f"{measured / target.value:.2f}x",
+    ]

@@ -1,0 +1,118 @@
+"""Cluster specifications.
+
+A :class:`ClusterSpec` names the jobs (``ps``, ``worker``, …) of a
+TensorFlow cluster and maps each job's task indices to server addresses —
+Listing 2 of the paper::
+
+    cluster = ClusterSpec({'ps': ['t01n01:8888'],
+                           'worker': ['t01n02:8888', 't01n03:8888']})
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+from repro.errors import InvalidArgumentError, NotFoundError
+
+__all__ = ["ClusterSpec"]
+
+JobSpec = Union[Sequence[str], Mapping[int, str]]
+
+
+class ClusterSpec:
+    """An immutable mapping of jobs to task address lists."""
+
+    def __init__(self, cluster: Union["ClusterSpec", Mapping[str, JobSpec]]):
+        if isinstance(cluster, ClusterSpec):
+            self._jobs = {j: dict(t) for j, t in cluster._jobs.items()}
+            return
+        if not isinstance(cluster, Mapping):
+            raise InvalidArgumentError(
+                f"ClusterSpec expects a mapping of jobs, got {type(cluster).__name__}"
+            )
+        self._jobs: dict[str, dict[int, str]] = {}
+        for job, tasks in cluster.items():
+            if isinstance(tasks, Mapping):
+                parsed = {int(i): str(a) for i, a in tasks.items()}
+            elif isinstance(tasks, Sequence) and not isinstance(tasks, (str, bytes)):
+                parsed = {i: str(a) for i, a in enumerate(tasks)}
+            else:
+                raise InvalidArgumentError(
+                    f"Job {job!r} must map to a list or dict of addresses"
+                )
+            if not parsed:
+                raise InvalidArgumentError(f"Job {job!r} has no tasks")
+            for index, address in parsed.items():
+                if index < 0:
+                    raise InvalidArgumentError(
+                        f"Negative task index {index} in job {job!r}"
+                    )
+                if ":" not in address:
+                    raise InvalidArgumentError(
+                        f"Address {address!r} in job {job!r} is not host:port"
+                    )
+            self._jobs[str(job)] = parsed
+        if not self._jobs:
+            raise InvalidArgumentError("ClusterSpec has no jobs")
+
+    # -- queries ----------------------------------------------------------------
+    @property
+    def jobs(self) -> list[str]:
+        return sorted(self._jobs)
+
+    def num_tasks(self, job: str) -> int:
+        return len(self._job(job))
+
+    def task_indices(self, job: str) -> list[int]:
+        return sorted(self._job(job))
+
+    def task_address(self, job: str, task_index: int) -> str:
+        tasks = self._job(job)
+        try:
+            return tasks[task_index]
+        except KeyError:
+            raise NotFoundError(
+                f"Job {job!r} has no task {task_index} "
+                f"(indices: {sorted(tasks)})"
+            ) from None
+
+    def job_tasks(self, job: str) -> list[str]:
+        tasks = self._job(job)
+        return [tasks[i] for i in sorted(tasks)]
+
+    def all_addresses(self) -> list[str]:
+        out = []
+        for job in self.jobs:
+            out.extend(self.job_tasks(job))
+        return out
+
+    def as_dict(self) -> dict[str, list[str]]:
+        return {job: self.job_tasks(job) for job in self.jobs}
+
+    def _job(self, job: str) -> dict[int, str]:
+        try:
+            return self._jobs[job]
+        except KeyError:
+            raise NotFoundError(
+                f"Unknown job {job!r} (jobs: {self.jobs})"
+            ) from None
+
+    # -- protocol --------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ClusterSpec):
+            return NotImplemented
+        return self._jobs == other._jobs
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple(
+                (job, tuple(sorted(tasks.items())))
+                for job, tasks in sorted(self._jobs.items())
+            )
+        )
+
+    def __contains__(self, job: str) -> bool:
+        return job in self._jobs
+
+    def __repr__(self) -> str:
+        return f"ClusterSpec({self.as_dict()!r})"

@@ -1,0 +1,104 @@
+"""Coordinator and QueueRunner analogs.
+
+TF 1.x input pipelines are driven by ``QueueRunner`` threads supervised by
+a ``Coordinator``. Here "threads" are simulation processes; the paper's
+observation that "the Global Interpreter Lock ... prevents concurrent
+thread execution, which QueueRunners are dependent on" is modelled by the
+per-task GIL resource that host-bound op phases contend on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.graph import Operation
+from repro.errors import CancelledError, OutOfRangeError, ReproError
+from repro.simnet.events import AllOf, Environment, Process
+
+__all__ = ["Coordinator", "QueueRunner"]
+
+
+class Coordinator:
+    """Cooperative stop signalling for a set of simulation processes."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._stop_requested = False
+        self._processes: list[Process] = []
+        self._exceptions: list[BaseException] = []
+
+    def should_stop(self) -> bool:
+        return self._stop_requested
+
+    def request_stop(self, exc: Optional[BaseException] = None) -> None:
+        if exc is not None:
+            self._exceptions.append(exc)
+        self._stop_requested = True
+
+    def register(self, process: Process) -> Process:
+        self._processes.append(process)
+        return process
+
+    def join(self):
+        """Generator: wait for all registered processes; re-raise errors."""
+        pending = [p for p in self._processes if p.is_alive]
+        if pending:
+            yield AllOf(self.env, pending)
+        if self._exceptions:
+            raise self._exceptions[0]
+        return None
+
+    def stop_on_exception(self, exc: BaseException) -> bool:
+        """Record clean-shutdown exceptions; returns True when absorbed."""
+        if isinstance(exc, (OutOfRangeError, CancelledError)):
+            self.request_stop()
+            return True
+        self.request_stop(exc)
+        return False
+
+
+class QueueRunner:
+    """Repeatedly runs enqueue op(s) until the input side is exhausted.
+
+    ``create_processes(sess, coord)`` spawns one simulation process per
+    enqueue op; each loops ``sess.run(enqueue_op)`` and, on
+    ``OutOfRangeError`` (input exhausted) closes the queue so consumers
+    drain and then stop — TF's exact shutdown protocol.
+    """
+
+    def __init__(self, queue, enqueue_ops: Iterable[Operation]):
+        self.queue = queue
+        self.enqueue_ops = list(enqueue_ops)
+        if not self.enqueue_ops:
+            raise ReproError("QueueRunner needs at least one enqueue op")
+        self._close_op = None
+
+    def _get_close_op(self):
+        if self._close_op is None:
+            self._close_op = self.queue.close()
+        return self._close_op
+
+    def create_processes(self, sess, coord: Coordinator) -> list[Process]:
+        env = sess.env
+        processes = []
+        remaining = [len(self.enqueue_ops)]
+
+        def runner_loop(op):
+            try:
+                while not coord.should_stop():
+                    yield from sess.run_gen(op)
+            except (OutOfRangeError, CancelledError) as exc:
+                coord.stop_on_exception(exc)
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    # Last producer out closes the queue.
+                    yield from sess.run_gen(self._get_close_op())
+            except ReproError as exc:
+                coord.stop_on_exception(exc)
+                raise
+
+        for op in self.enqueue_ops:
+            proc = env.process(runner_loop(op), name=f"queue_runner:{op.name}")
+            coord.register(proc)
+            processes.append(proc)
+        return processes

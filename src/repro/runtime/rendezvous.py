@@ -1,0 +1,64 @@
+"""Key-based tensor rendezvous.
+
+TF moves tensors between devices through a rendezvous table: the producer
+``_Send``\\ s under a key, the consumer ``_Recv``\\ s under the same key, and
+whichever side arrives first waits. Keys are unique per (edge, run), so
+values match exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import InternalError
+from repro.simnet.events import Environment, Event
+
+__all__ = ["Rendezvous", "make_key"]
+
+
+def make_key(src_device: str, dst_device: str, tensor_name: str, run_id: int) -> str:
+    return f"{src_device};{dst_device};{tensor_name};run{run_id}"
+
+
+class Rendezvous:
+    """Exactly-once key/value matching between producers and consumers."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._values: dict[str, Any] = {}
+        self._waiters: dict[str, list[Event]] = {}
+        self.sends = 0
+        self.recvs = 0
+
+    def send(self, key: str, value: Any) -> None:
+        """Deposit ``value``; wakes all waiting receivers."""
+        if key in self._values:
+            raise InternalError(f"Duplicate rendezvous send for key {key!r}")
+        self.sends += 1
+        self._values[key] = value
+        for event in self._waiters.pop(key, ()):
+            event.succeed(value)
+
+    def recv(self, key: str) -> Event:
+        """Event delivering the value sent under ``key``.
+
+        Multiple receivers of the same key all get the value (one send may
+        feed several consumers on the destination device).
+        """
+        self.recvs += 1
+        event = Event(self.env)
+        if key in self._values:
+            event.succeed(self._values[key])
+        else:
+            self._waiters.setdefault(key, []).append(event)
+        return event
+
+    def pending_keys(self) -> list[str]:
+        """Keys with waiting receivers (deadlock diagnostics)."""
+        return sorted(self._waiters)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Rendezvous {self.sends} sends / {self.recvs} recvs, "
+            f"{len(self._waiters)} waiting>"
+        )

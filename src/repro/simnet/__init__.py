@@ -1,0 +1,31 @@
+"""Simulated cluster substrate.
+
+``repro.simnet`` provides the discrete-event simulation (DES) kernel and the
+hardware models (GPUs, CPUs, nodes, interconnects, transports, machines) on
+which the TF-like runtime executes. Simulated time is in **seconds**; data
+sizes are in **bytes** unless a name says otherwise.
+"""
+
+from repro.simnet.events import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.simnet.resources import BandwidthLink, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "BandwidthLink",
+]

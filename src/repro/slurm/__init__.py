@@ -1,0 +1,23 @@
+"""Simulated Slurm workload manager and the paper's TF cluster resolver.
+
+Section III of the paper contributes a ``tf.contrib.cluster_resolver``
+extension that turns a Slurm allocation into a TensorFlow ClusterSpec and
+exposes the right GPUs to co-located tasks. This package provides the
+whole chain: hostlist grammar, a simulated Slurm controller that issues
+allocations with the standard ``SLURM_*`` environment, an ``scontrol``
+emulation, and the resolver itself.
+"""
+
+from repro.slurm.cluster_resolver import SlurmClusterResolver
+from repro.slurm.hostlist import compress_hostlist, expand_hostlist
+from repro.slurm.scontrol import Scontrol
+from repro.slurm.workload_manager import SlurmJob, SlurmWorkloadManager
+
+__all__ = [
+    "expand_hostlist",
+    "compress_hostlist",
+    "SlurmWorkloadManager",
+    "SlurmJob",
+    "Scontrol",
+    "SlurmClusterResolver",
+]

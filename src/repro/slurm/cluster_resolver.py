@@ -1,0 +1,171 @@
+"""The paper's Slurm cluster resolver (Section III).
+
+Given a Slurm job environment and a requested job composition (e.g.
+``{"ps": 1, "worker": 4}``), the resolver:
+
+* expands the allocation's node list (via ``scontrol show hostnames``);
+* lays tasks onto nodes following Slurm's plane distribution;
+* assigns each task an address (``host:port``, incrementing the port for
+  co-located tasks);
+* computes each task's GPU exposure mask (``CUDA_VISIBLE_DEVICES``) so
+  that multiple TensorFlow instances on a node get disjoint GPU engines —
+  Table I's configurations.
+
+``create_servers`` additionally boots the corresponding simulated
+:class:`~repro.runtime.server.Server` objects, which is the piece real TF
+leaves to ``tf.train.Server`` on each rank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import InvalidArgumentError, ResourceExhaustedError
+from repro.runtime.clusterspec import ClusterSpec
+from repro.runtime.server import Server, ServerConfig
+from repro.slurm.scontrol import Scontrol
+from repro.slurm.workload_manager import decode_tasks_per_node
+
+__all__ = ["SlurmClusterResolver"]
+
+
+class SlurmClusterResolver:
+    """Builds a ClusterSpec from a Slurm allocation."""
+
+    def __init__(
+        self,
+        jobs: dict[str, int],
+        environ: dict[str, str],
+        port_base: int = 8888,
+        gpus_per_node: Optional[int] = None,
+        gpus_per_task: Optional[int] = None,
+        scontrol: Optional[Scontrol] = None,
+        auto_set_gpu: bool = True,
+    ):
+        if not jobs:
+            raise InvalidArgumentError("jobs must name at least one job")
+        for name, count in jobs.items():
+            if count < 1:
+                raise InvalidArgumentError(f"Job {name!r} needs >= 1 task")
+        self.jobs = dict(jobs)
+        self.port_base = port_base
+        self.auto_set_gpu = auto_set_gpu
+        self._scontrol = scontrol or Scontrol()
+        try:
+            nodelist = environ["SLURM_JOB_NODELIST"]
+            self._ntasks = int(environ["SLURM_NTASKS"])
+            tasks_text = environ["SLURM_TASKS_PER_NODE"]
+        except KeyError as exc:
+            raise InvalidArgumentError(
+                f"Not inside a Slurm allocation: missing {exc.args[0]}"
+            ) from None
+        self._hosts = self._scontrol.show_hostnames(nodelist).splitlines()
+        self._tasks_per_node = decode_tasks_per_node(tasks_text)
+        if len(self._tasks_per_node) == 1 and len(self._hosts) > 1:
+            # Slurm may emit a single "2(x4)"-style entry already expanded
+            # by decode; but a bare "2" for many nodes means homogeneous.
+            self._tasks_per_node = self._tasks_per_node * len(self._hosts)
+        if len(self._tasks_per_node) != len(self._hosts):
+            raise InvalidArgumentError(
+                f"{len(self._hosts)} hosts but tasks-per-node has "
+                f"{len(self._tasks_per_node)} entries"
+            )
+        total = sum(self.jobs.values())
+        if total > self._ntasks:
+            raise ResourceExhaustedError(
+                f"Requested {total} tasks across jobs {self.jobs} but the "
+                f"allocation has SLURM_NTASKS={self._ntasks}"
+            )
+        if gpus_per_node is None:
+            gpu_env = environ.get("SLURM_JOB_GPUS", "")
+            gpus_per_node = len([g for g in gpu_env.split(",") if g != ""])
+        self._gpus_per_node = gpus_per_node
+        if gpus_per_task is None:
+            max_tasks = max(self._tasks_per_node)
+            gpus_per_task = (
+                gpus_per_node // max_tasks if max_tasks and gpus_per_node else 0
+            )
+        self._gpus_per_task = gpus_per_task
+
+    # -- task layout -------------------------------------------------------------
+    def _task_slots(self) -> list[tuple[str, int]]:
+        """(host, local_rank) of every global task, plane-distributed."""
+        slots = []
+        for host, count in zip(self._hosts, self._tasks_per_node):
+            for local in range(count):
+                slots.append((host, local))
+        return slots
+
+    def _assignments(self) -> list[tuple[str, int, str, int]]:
+        """(job, task_index, host, local_rank) for every assigned task."""
+        slots = self._task_slots()
+        out = []
+        cursor = 0
+        for job in self.jobs:  # dict order: caller controls ps-first etc.
+            for index in range(self.jobs[job]):
+                host, local = slots[cursor]
+                out.append((job, index, host, local))
+                cursor += 1
+        return out
+
+    def cluster_spec(self) -> ClusterSpec:
+        spec: dict[str, list[str]] = {job: [] for job in self.jobs}
+        for job, _index, host, local in self._assignments():
+            spec[job].append(f"{host}:{self.port_base + local}")
+        return ClusterSpec(spec)
+
+    def get_task_info(self, procid: int) -> tuple[str, int]:
+        """(job_name, task_index) of the global Slurm rank ``procid``."""
+        assignments = self._assignments()
+        if not 0 <= procid < len(assignments):
+            raise InvalidArgumentError(
+                f"procid {procid} outside the {len(assignments)} assigned tasks"
+            )
+        job, index, _host, _local = assignments[procid]
+        return job, index
+
+    def gpu_allocation(self) -> dict[tuple[str, int], list[int]]:
+        """Physical GPU ids exposed to each task (CUDA_VISIBLE_DEVICES)."""
+        masks: dict[tuple[str, int], list[int]] = {}
+        next_gpu: dict[str, int] = {}
+        for job, index, host, _local in self._assignments():
+            if not self.auto_set_gpu or self._gpus_per_task == 0:
+                masks[(job, index)] = list(range(self._gpus_per_node))
+                continue
+            start = next_gpu.get(host, 0)
+            end = start + self._gpus_per_task
+            if end > self._gpus_per_node:
+                raise ResourceExhaustedError(
+                    f"Node {host} has {self._gpus_per_node} GPUs; cannot give "
+                    f"{self._gpus_per_task} more to /job:{job}/task:{index}"
+                )
+            masks[(job, index)] = list(range(start, end))
+            next_gpu[host] = end
+        return masks
+
+    # -- simulated-cluster integration ----------------------------------------
+    def create_servers(
+        self,
+        machine,
+        protocol: str = "grpc+verbs",
+        gpu_memory_fraction: float = 1.0,
+    ) -> dict[tuple[str, int], Server]:
+        """Boot one simulated Server per task with its GPU mask applied."""
+        spec = self.cluster_spec()
+        masks = self.gpu_allocation()
+        servers = {}
+        for job in self.jobs:
+            for index in range(self.jobs[job]):
+                config = ServerConfig(
+                    visible_gpus=masks[(job, index)],
+                    gpu_memory_fraction=gpu_memory_fraction,
+                )
+                servers[(job, index)] = Server(
+                    spec,
+                    job_name=job,
+                    task_index=index,
+                    machine=machine,
+                    protocol=protocol,
+                    config=config,
+                )
+        return servers

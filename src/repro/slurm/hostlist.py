@@ -1,0 +1,128 @@
+"""Slurm hostlist grammar: expansion and compression.
+
+Slurm compresses node lists as ``t01n[01-03,05]``; tools (and the paper's
+resolver, via ``scontrol show hostnames``) need the expanded form. Both
+directions are implemented, preserving zero padding.
+"""
+
+from __future__ import annotations
+
+import re
+from itertools import groupby
+
+from repro.errors import InvalidArgumentError
+
+__all__ = ["expand_hostlist", "compress_hostlist"]
+
+_BRACKET_RE = re.compile(r"^([^\[\]]*)\[([^\[\]]+)\]([^\[\]]*)$")
+_TRAILING_NUM_RE = re.compile(r"^(.*?)(\d+)$")
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split on commas that are not inside brackets."""
+    parts = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            if depth < 0:
+                raise InvalidArgumentError(f"Unbalanced brackets in {text!r}")
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise InvalidArgumentError(f"Unbalanced brackets in {text!r}")
+    if current:
+        parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def expand_hostlist(hostlist: str) -> list[str]:
+    """Expand ``"t01n[01-03,05],gpu07"`` to the explicit host names."""
+    if not hostlist or not hostlist.strip():
+        return []
+    hosts: list[str] = []
+    for item in _split_top_level(hostlist):
+        match = _BRACKET_RE.match(item)
+        if match is None:
+            if "[" in item or "]" in item:
+                raise InvalidArgumentError(
+                    f"Cannot parse hostlist item {item!r} "
+                    f"(multiple bracket groups are not supported)"
+                )
+            hosts.append(item)
+            continue
+        prefix, body, suffix = match.groups()
+        for piece in body.split(","):
+            piece = piece.strip()
+            if "-" in piece:
+                lo_text, _, hi_text = piece.partition("-")
+                if not lo_text.isdigit() or not hi_text.isdigit():
+                    raise InvalidArgumentError(
+                        f"Bad range {piece!r} in hostlist {hostlist!r}"
+                    )
+                width = len(lo_text)
+                lo, hi = int(lo_text), int(hi_text)
+                if hi < lo:
+                    raise InvalidArgumentError(
+                        f"Descending range {piece!r} in hostlist {hostlist!r}"
+                    )
+                for value in range(lo, hi + 1):
+                    hosts.append(f"{prefix}{value:0{width}d}{suffix}")
+            else:
+                if not piece.isdigit():
+                    raise InvalidArgumentError(
+                        f"Bad index {piece!r} in hostlist {hostlist!r}"
+                    )
+                hosts.append(f"{prefix}{piece}{suffix}")
+    return hosts
+
+
+def compress_hostlist(hosts: list[str]) -> str:
+    """Inverse of :func:`expand_hostlist` (stable for its outputs).
+
+    Hosts sharing a prefix and numeric-suffix width are folded into one
+    bracket group with ranges; everything else passes through verbatim.
+    """
+    if not hosts:
+        return ""
+    plain: list[str] = []
+    # (prefix, width) -> list of numeric suffixes, in first-seen order.
+    groups: dict[tuple[str, int], list[int]] = {}
+    order: list[tuple[str, int]] = []
+    for host in hosts:
+        match = _TRAILING_NUM_RE.match(host)
+        if match is None:
+            plain.append(host)
+            continue
+        prefix, digits = match.groups()
+        key = (prefix, len(digits))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(int(digits))
+    parts: list[str] = []
+    for key in order:
+        prefix, width = key
+        numbers = sorted(set(groups[key]))
+        ranges: list[str] = []
+        # Consecutive runs: group by value - position.
+        for _, run in groupby(enumerate(numbers), key=lambda t: t[1] - t[0]):
+            items = [v for _, v in run]
+            if len(items) == 1:
+                ranges.append(f"{items[0]:0{width}d}")
+            else:
+                ranges.append(f"{items[0]:0{width}d}-{items[-1]:0{width}d}")
+        if len(numbers) == 1 and not ranges[0].count("-"):
+            parts.append(f"{prefix}{ranges[0]}")
+        else:
+            parts.append(f"{prefix}[{','.join(ranges)}]")
+    parts.extend(plain)
+    return ",".join(parts)

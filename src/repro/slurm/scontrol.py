@@ -1,0 +1,52 @@
+"""``scontrol`` emulation.
+
+The paper's resolver "reads a list of hosts through Slurm's scontrol
+command"; this class reproduces the two subcommands it needs, returning
+the same text format the real tool prints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import InvalidArgumentError
+from repro.slurm.hostlist import expand_hostlist
+from repro.slurm.workload_manager import SlurmWorkloadManager
+
+__all__ = ["Scontrol"]
+
+
+class Scontrol:
+    """Text-level frontend over the simulated workload manager."""
+
+    def __init__(self, manager: Optional[SlurmWorkloadManager] = None):
+        self._manager = manager
+
+    def show_hostnames(self, nodelist: str) -> str:
+        """``scontrol show hostnames <list>``: one expanded name per line."""
+        return "\n".join(expand_hostlist(nodelist))
+
+    def show_job(self, job_id: int) -> str:
+        """``scontrol show job <id>``: the fields the resolver cares about."""
+        if self._manager is None:
+            raise InvalidArgumentError("show_job requires a workload manager")
+        job = self._manager.job(job_id)
+        lines = [
+            f"JobId={job.job_id} JobName=repro",
+            f"   Partition={job.partition} NodeList={job.nodelist}",
+            f"   NumNodes={len(job.nodes)} NumTasks={job.ntasks}",
+            f"   TasksPerNode={job.tasks_per_node}",
+        ]
+        return "\n".join(lines)
+
+    def run(self, *argv: str) -> str:
+        """Command-line style dispatch: ``run('show', 'hostnames', list)``."""
+        if len(argv) >= 2 and argv[0] == "show" and argv[1] == "hostnames":
+            if len(argv) != 3:
+                raise InvalidArgumentError("usage: scontrol show hostnames <list>")
+            return self.show_hostnames(argv[2])
+        if len(argv) >= 2 and argv[0] == "show" and argv[1] == "job":
+            if len(argv) != 3:
+                raise InvalidArgumentError("usage: scontrol show job <id>")
+            return self.show_job(int(argv[2]))
+        raise InvalidArgumentError(f"Unsupported scontrol invocation: {argv}")

@@ -1,0 +1,198 @@
+"""A simulated Slurm controller.
+
+Manages partitions of a simulated machine's nodes, grants allocations,
+and synthesizes the standard ``SLURM_*`` job environment (including the
+run-length-encoded ``SLURM_TASKS_PER_NODE`` format) that the cluster
+resolver consumes. Task placement follows Slurm's default *block/plane*
+distribution, which the paper's resolver supports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import InvalidArgumentError, ResourceExhaustedError
+from repro.slurm.hostlist import compress_hostlist, expand_hostlist
+
+__all__ = ["SlurmWorkloadManager", "SlurmJob", "encode_tasks_per_node", "decode_tasks_per_node"]
+
+
+def encode_tasks_per_node(counts: Sequence[int]) -> str:
+    """Slurm's RLE format: ``[2, 2, 2, 1]`` → ``"2(x3),1"``."""
+    parts = []
+    for count, run in itertools.groupby(counts):
+        length = len(list(run))
+        if length == 1:
+            parts.append(str(count))
+        else:
+            parts.append(f"{count}(x{length})")
+    return ",".join(parts)
+
+
+def decode_tasks_per_node(text: str) -> list[int]:
+    """Inverse of :func:`encode_tasks_per_node`."""
+    counts: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "(x" in part:
+            count_text, _, rep_text = part.partition("(x")
+            if not rep_text.endswith(")"):
+                raise InvalidArgumentError(f"Bad tasks-per-node item {part!r}")
+            counts.extend([int(count_text)] * int(rep_text[:-1]))
+        else:
+            counts.append(int(part))
+    return counts
+
+
+@dataclass
+class SlurmJob:
+    """One granted allocation."""
+
+    job_id: int
+    partition: str
+    nodes: list[str]
+    tasks_per_node: list[int]
+    gpus_per_node: int
+
+    @property
+    def ntasks(self) -> int:
+        return sum(self.tasks_per_node)
+
+    @property
+    def nodelist(self) -> str:
+        return compress_hostlist(self.nodes)
+
+    def environment(self, procid: int = 0) -> dict[str, str]:
+        """The ``SLURM_*`` environment a job step would see."""
+        if not 0 <= procid < self.ntasks:
+            raise InvalidArgumentError(
+                f"procid {procid} outside [0, {self.ntasks})"
+            )
+        return {
+            "SLURM_JOB_ID": str(self.job_id),
+            "SLURM_JOB_PARTITION": self.partition,
+            "SLURM_JOB_NODELIST": self.nodelist,
+            "SLURM_JOB_NUM_NODES": str(len(self.nodes)),
+            "SLURM_NNODES": str(len(self.nodes)),
+            "SLURM_NTASKS": str(self.ntasks),
+            "SLURM_TASKS_PER_NODE": encode_tasks_per_node(self.tasks_per_node),
+            "SLURM_PROCID": str(procid),
+            "SLURM_JOB_GPUS": ",".join(str(i) for i in range(self.gpus_per_node)),
+        }
+
+    def task_hosts(self) -> list[str]:
+        """Host of each task index under block (plane) distribution."""
+        hosts = []
+        for node, count in zip(self.nodes, self.tasks_per_node):
+            hosts.extend([node] * count)
+        return hosts
+
+
+class SlurmWorkloadManager:
+    """Allocates nodes of a simulated machine to jobs."""
+
+    def __init__(self, machine, partitions: Optional[dict[str, list[str]]] = None):
+        self.machine = machine
+        if partitions is None:
+            partitions = {"main": machine.node_names()}
+        for name, nodes in partitions.items():
+            for node in nodes:
+                machine.node(node)  # validates existence
+        self.partitions = {name: list(nodes) for name, nodes in partitions.items()}
+        self._busy: set[str] = set()
+        self._jobs: dict[int, SlurmJob] = {}
+        self._next_job_id = itertools.count(1000)
+
+    # -- queries -----------------------------------------------------------------
+    def idle_nodes(self, partition: str = "main") -> list[str]:
+        nodes = self._partition(partition)
+        return [n for n in nodes if n not in self._busy]
+
+    def job(self, job_id: int) -> SlurmJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise InvalidArgumentError(f"Unknown job id {job_id}") from None
+
+    def _partition(self, partition: str) -> list[str]:
+        try:
+            return self.partitions[partition]
+        except KeyError:
+            raise InvalidArgumentError(
+                f"Unknown partition {partition!r} (have {sorted(self.partitions)})"
+            ) from None
+
+    # -- allocation ---------------------------------------------------------------
+    def submit(
+        self,
+        num_nodes: Optional[int] = None,
+        ntasks: Optional[int] = None,
+        tasks_per_node: Optional[int] = None,
+        partition: str = "main",
+        nodelist: Optional[str] = None,
+    ) -> SlurmJob:
+        """Grant an allocation (immediate; no queueing delay is modelled)."""
+        if nodelist is not None:
+            nodes = expand_hostlist(nodelist)
+            for node in nodes:
+                if node not in self._partition(partition):
+                    raise InvalidArgumentError(
+                        f"Node {node!r} not in partition {partition!r}"
+                    )
+                if node in self._busy:
+                    raise ResourceExhaustedError(f"Node {node!r} is busy")
+        else:
+            if num_nodes is None:
+                if ntasks is None or tasks_per_node is None:
+                    raise InvalidArgumentError(
+                        "submit() needs num_nodes, nodelist, or "
+                        "ntasks+tasks_per_node"
+                    )
+                num_nodes = -(-ntasks // tasks_per_node)  # ceil division
+            idle = self.idle_nodes(partition)
+            if len(idle) < num_nodes:
+                raise ResourceExhaustedError(
+                    f"Requested {num_nodes} nodes; only {len(idle)} idle in "
+                    f"{partition!r}"
+                )
+            nodes = idle[:num_nodes]
+        if tasks_per_node is None:
+            if ntasks is None:
+                tasks_per_node = 1
+                ntasks = len(nodes)
+            else:
+                tasks_per_node = -(-ntasks // len(nodes))
+        if ntasks is None:
+            ntasks = tasks_per_node * len(nodes)
+        # Block (plane) distribution: fill each node up to tasks_per_node.
+        counts = []
+        remaining = ntasks
+        for _ in nodes:
+            take = min(tasks_per_node, remaining)
+            counts.append(take)
+            remaining -= take
+        if remaining > 0:
+            raise InvalidArgumentError(
+                f"{ntasks} tasks do not fit on {len(nodes)} nodes at "
+                f"{tasks_per_node} tasks/node"
+            )
+        gpus = min(self.machine.node(n).num_gpus for n in nodes)
+        job = SlurmJob(
+            job_id=next(self._next_job_id),
+            partition=partition,
+            nodes=list(nodes),
+            tasks_per_node=counts,
+            gpus_per_node=gpus,
+        )
+        self._busy.update(nodes)
+        self._jobs[job.job_id] = job
+        return job
+
+    def cancel(self, job_id: int) -> None:
+        job = self.job(job_id)
+        self._busy.difference_update(job.nodes)
+        del self._jobs[job_id]

@@ -1,0 +1,124 @@
+"""Additional application behaviours: protocols, custom problems, limits."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cg import run_cg
+from repro.apps.fft import run_fft
+from repro.apps.matmul import run_matmul
+from repro.apps.stream import run_stream
+from repro.errors import InvalidArgumentError, NotFoundError
+
+
+class TestStreamExtra:
+    def test_bandwidth_monotone_in_size(self):
+        sizes = [2, 16, 128]
+        bws = [run_stream("tegner-k420", device="cpu", size_mb=s,
+                          iterations=10).bandwidth for s in sizes]
+        assert bws[0] < bws[1] < bws[2]
+
+    def test_kebnekaise_protocols_differ_between_nodes(self):
+        """With one task per node the protocol choice matters (fixing the
+        co-location pitfall of Table I density)."""
+        rdma = run_stream("kebnekaise-k80", device="gpu", size_mb=64,
+                          protocol="grpc+verbs", iterations=8)
+        mpi = run_stream("kebnekaise-k80", device="gpu", size_mb=64,
+                         protocol="grpc+mpi", iterations=8)
+        assert rdma.bandwidth > 1.5 * mpi.bandwidth
+
+
+class TestMatmulExtra:
+    def test_store_results_can_be_disabled(self):
+        result = run_matmul(system="tegner-k420", n=64, tile=32, num_gpus=1,
+                            num_reducers=1, shape_only=True,
+                            store_results=False)
+        assert result.elapsed > 0
+
+    def test_results_written_to_filesystem(self):
+        from repro.apps.common import build_cluster
+
+        cluster = build_cluster("tegner-k420", {"worker": 1, "reducer": 1})
+        run_matmul(system="tegner-k420", n=64, tile=32, num_gpus=1,
+                   num_reducers=1, shape_only=False, cluster=cluster)
+        files = cluster.filesystem.listdir("C_")
+        assert files == ["C_0_0.npy", "C_0_1.npy", "C_1_0.npy", "C_1_1.npy"]
+
+    def test_mpi_transport_slower_than_rdma(self):
+        rdma = run_matmul(system="tegner-k80", n=8192, tile=2048, num_gpus=2,
+                          protocol="grpc+verbs", shape_only=True)
+        mpi = run_matmul(system="tegner-k80", n=8192, tile=2048, num_gpus=2,
+                         protocol="grpc+mpi", shape_only=True)
+        assert mpi.elapsed > rdma.elapsed
+
+    def test_single_tile_problem(self):
+        result = run_matmul(system="tegner-k420", n=32, tile=32, num_gpus=1,
+                            num_reducers=1, shape_only=False)
+        assert result.validated
+        assert result.products == 1
+
+
+class TestCGExtra:
+    def test_custom_problem_poisson_like(self):
+        n = 64
+        # Tridiagonal SPD system (1-D Laplacian + shift).
+        a = np.diag(np.full(n, 4.0)) + np.diag(np.full(n - 1, -1.0), 1) \
+            + np.diag(np.full(n - 1, -1.0), -1)
+        b = np.ones(n)
+        result = run_cg(system="tegner-k80", n=n, num_gpus=2, iterations=60,
+                        shape_only=False, problem=(a, b))
+        assert result.residual < 1e-8
+        np.testing.assert_allclose(a @ result.solution, b, atol=1e-7)
+
+    def test_custom_problem_shape_mismatch(self):
+        with pytest.raises(InvalidArgumentError):
+            run_cg(system="tegner-k80", n=64, num_gpus=2, iterations=5,
+                   shape_only=False, problem=(np.eye(32), np.ones(32)))
+
+    def test_resume_from_missing_checkpoint(self, tmp_path):
+        with pytest.raises(NotFoundError):
+            run_cg(system="tegner-k80", n=64, num_gpus=2, iterations=5,
+                   shape_only=False, resume_dir=str(tmp_path))
+
+    def test_solution_exposed_only_in_concrete_mode(self):
+        concrete = run_cg(system="tegner-k80", n=64, num_gpus=2,
+                          iterations=30, shape_only=False)
+        symbolic = run_cg(system="tegner-k80", n=64, num_gpus=2,
+                          iterations=5, shape_only=True)
+        assert concrete.solution is not None
+        assert symbolic.solution is None
+
+    def test_oom_on_oversized_block(self):
+        from repro.errors import ResourceExhaustedError
+
+        # 65536 rows x 65536 cols / 2 workers = 16 GB/block > 12 GB K80.
+        with pytest.raises(ResourceExhaustedError):
+            run_cg(system="tegner-k80", n=65536, num_gpus=2, iterations=2,
+                   shape_only=True)
+
+
+class TestFFTExtra:
+    def test_custom_signal(self):
+        n = 512
+        t = np.arange(n)
+        signal = np.exp(2j * np.pi * 5 * t / n)
+        result = run_fft(system="tegner-k420", n=n, num_tiles=4, num_gpus=2,
+                         shape_only=False, signal=signal)
+        assert result.validated
+        peak_bin = int(np.argmax(np.abs(result.spectrum)))
+        assert peak_bin == 5
+
+    def test_custom_signal_shape_mismatch(self):
+        with pytest.raises(InvalidArgumentError):
+            run_fft(system="tegner-k420", n=256, num_tiles=4, num_gpus=1,
+                    shape_only=False, signal=np.zeros(128, complex))
+
+    def test_small_queue_capacity_backpressure(self):
+        """A capacity-1 queue still completes (producers block politely)."""
+        result = run_fft(system="tegner-k420", n=1 << 10, num_tiles=8,
+                         num_gpus=4, shape_only=False, queue_capacity=1)
+        assert result.validated
+
+    def test_more_tiles_than_needed_gpus(self):
+        result = run_fft(system="tegner-k420", n=1 << 10, num_tiles=16,
+                         num_gpus=3, shape_only=False)
+        assert result.validated

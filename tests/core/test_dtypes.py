@@ -1,0 +1,82 @@
+"""Unit tests for the dtype registry."""
+
+import numpy as np
+import pytest
+
+from repro import dtypes
+from repro.errors import InvalidArgumentError
+
+
+class TestDTypeBasics:
+    def test_sizes(self):
+        assert dtypes.float32.size == 4
+        assert dtypes.float64.size == 8
+        assert dtypes.complex128.size == 16
+        assert dtypes.int32.size == 4
+        assert dtypes.bool_.size == 1
+
+    def test_classification(self):
+        assert dtypes.float32.is_floating
+        assert not dtypes.float32.is_complex
+        assert dtypes.complex64.is_complex
+        assert not dtypes.complex64.is_floating
+        assert dtypes.int64.is_integer
+        assert dtypes.bool_.is_bool
+        assert not dtypes.bool_.is_numeric
+
+    def test_real_dtype(self):
+        assert dtypes.complex64.real_dtype is dtypes.float32
+        assert dtypes.complex128.real_dtype is dtypes.float64
+        assert dtypes.float32.real_dtype is dtypes.float32
+
+    def test_equality_with_names_and_numpy(self):
+        assert dtypes.float32 == "float32"
+        assert dtypes.float32 == np.float32
+        assert dtypes.float32 != dtypes.float64
+        assert dtypes.int32 == np.dtype("int32")
+
+    def test_hashable(self):
+        assert len({dtypes.float32, dtypes.float32, dtypes.float64}) == 2
+
+
+class TestAsDtype:
+    @pytest.mark.parametrize("value,expected", [
+        ("float64", dtypes.float64),
+        (np.float32, dtypes.float32),
+        (np.dtype(np.complex128), dtypes.complex128),
+        (float, dtypes.float64),
+        (int, dtypes.int64),
+        (bool, dtypes.bool_),
+        (complex, dtypes.complex128),
+        (dtypes.int32, dtypes.int32),
+    ])
+    def test_coercions(self, value, expected):
+        assert dtypes.as_dtype(value) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            dtypes.as_dtype("float128x")
+
+    def test_narrow_types_promote(self):
+        assert dtypes.as_dtype(np.float16) is dtypes.float32
+        assert dtypes.as_dtype(np.int16) is dtypes.int32
+        assert dtypes.as_dtype(np.int8) is dtypes.int32
+
+    def test_enum_roundtrip(self):
+        for dt in dtypes.ALL_DTYPES:
+            assert dtypes.from_enum(dt.enum) is dt
+
+    def test_bad_enum(self):
+        with pytest.raises(InvalidArgumentError):
+            dtypes.from_enum(250)
+
+
+class TestPromotion:
+    def test_result_dtype(self):
+        assert dtypes.result_dtype(dtypes.float32, dtypes.float64) is dtypes.float64
+        assert dtypes.result_dtype(dtypes.int32, dtypes.float32) is dtypes.float64
+        assert dtypes.result_dtype(dtypes.float64, dtypes.complex64) is dtypes.complex128
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            dtypes.result_dtype()

@@ -1,0 +1,110 @@
+"""Eager execution mode."""
+
+import numpy as np
+import pytest
+
+from repro import eager
+from repro.errors import InvalidArgumentError, UnimplementedError
+
+
+@pytest.fixture()
+def ctx():
+    return eager.EagerContext(seed=7)
+
+
+class TestEagerMath:
+    def test_arithmetic(self, ctx):
+        a = ctx.constant([1.0, 2.0])
+        b = ctx.constant([3.0, 4.0])
+        np.testing.assert_allclose(ctx.add(a, b), [4.0, 6.0])
+        np.testing.assert_allclose(ctx.subtract(a, b), [-2.0, -2.0])
+        np.testing.assert_allclose(ctx.multiply(a, b), [3.0, 8.0])
+        np.testing.assert_allclose(ctx.divide(b, a), [3.0, 2.0])
+
+    def test_matmul_matches_numpy(self, ctx):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(3, 5)).astype(np.float64)
+        b = rng.normal(size=(5, 2)).astype(np.float64)
+        np.testing.assert_allclose(ctx.matmul(a, b), a @ b)
+        np.testing.assert_allclose(
+            ctx.matmul(a, a, transpose_b=True), a @ a.T
+        )
+
+    def test_dot_and_reductions(self, ctx):
+        x = np.arange(6, dtype=np.float64)
+        assert ctx.dot(x, x) == pytest.approx(np.dot(x, x))
+        m = x.reshape(2, 3)
+        np.testing.assert_allclose(ctx.reduce_sum(m, axis=0), m.sum(axis=0))
+        assert ctx.reduce_sum(m) == pytest.approx(m.sum())
+
+    def test_sqrt(self, ctx):
+        np.testing.assert_allclose(ctx.sqrt(np.array([4.0, 9.0])), [2.0, 3.0])
+
+    def test_fft_roundtrip(self, ctx):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=16) + 1j * rng.normal(size=16)
+        np.testing.assert_allclose(ctx.fft(x), np.fft.fft(x), atol=1e-12)
+        np.testing.assert_allclose(ctx.ifft(ctx.fft(x)), x, atol=1e-12)
+
+
+class TestEagerRandom:
+    def test_shapes_and_ranges(self, ctx):
+        u = ctx.random_uniform([50], minval=1.0, maxval=2.0)
+        assert u.shape == (50,)
+        assert u.min() >= 1.0 and u.max() < 2.0
+
+    def test_successive_calls_differ(self, ctx):
+        a = ctx.random_uniform([16])
+        b = ctx.random_uniform([16])
+        assert not np.array_equal(a, b)
+
+    def test_same_seed_reproduces(self):
+        c1 = eager.EagerContext(seed=3)
+        c2 = eager.EagerContext(seed=3)
+        np.testing.assert_array_equal(
+            c1.random_normal([8]), c2.random_normal([8])
+        )
+
+
+class TestEagerVariables:
+    def test_variable_lifecycle(self, ctx):
+        handle = ctx.variable(np.zeros(3), name="state")
+        np.testing.assert_allclose(ctx.read(handle), [0, 0, 0])
+        ctx.assign_add(handle, np.ones(3))
+        ctx.assign_add(handle, np.ones(3))
+        np.testing.assert_allclose(ctx.read(handle), [2, 2, 2])
+        ctx.assign(handle, np.full(3, 9.0))
+        np.testing.assert_allclose(ctx.read(handle), [9, 9, 9])
+
+    def test_duplicate_name_rejected(self, ctx):
+        ctx.variable(1.0, name="v")
+        with pytest.raises(InvalidArgumentError):
+            ctx.variable(2.0, name="v")
+
+    def test_unknown_handle(self, ctx):
+        with pytest.raises(InvalidArgumentError):
+            ctx.read("ghost")
+
+
+class TestEagerLimits:
+    def test_graph_only_ops_rejected(self, ctx):
+        with pytest.raises(UnimplementedError):
+            ctx.execute("QueueDequeue")
+        with pytest.raises(UnimplementedError):
+            ctx.execute("IteratorGetNext")
+        with pytest.raises(UnimplementedError):
+            ctx.execute("ReadTile")
+
+    def test_eager_matches_graph_mode(self, ctx):
+        """The same kernels back both modes: results agree exactly."""
+        import repro as tf
+
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(4, 4)).astype(np.float32)
+        eager_result = ctx.matmul(a, a)
+        g = tf.Graph()
+        with g.as_default():
+            graph_result_t = tf.matmul(tf.constant(a), tf.constant(a))
+        with tf.Session(graph=g) as sess:
+            graph_result = sess.run(graph_result_t)
+        np.testing.assert_array_equal(eager_result, graph_result)

@@ -1,0 +1,180 @@
+"""Unit tests for Graph: scopes, naming, collections, lookups."""
+
+import pytest
+
+import repro as tf
+from repro.core.graph import GraphKeys, get_default_graph, reset_default_graph
+from repro.errors import FailedPreconditionError, InvalidArgumentError, NotFoundError
+
+
+class TestDefaultGraph:
+    def test_as_default_stacks(self):
+        g1 = tf.Graph()
+        g2 = tf.Graph()
+        with g1.as_default():
+            assert get_default_graph() is g1
+            with g2.as_default():
+                assert get_default_graph() is g2
+            assert get_default_graph() is g1
+
+    def test_reset_default_graph(self):
+        before = get_default_graph()
+        tf.constant(1.0, graph=before)
+        reset_default_graph()
+        after = get_default_graph()
+        assert after is not before
+        assert len(after.operations) == 0
+
+    def test_reset_inside_scope_raises(self):
+        with tf.Graph().as_default():
+            with pytest.raises(FailedPreconditionError):
+                reset_default_graph()
+
+
+class TestNaming:
+    def test_unique_names(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(1.0, name="x")
+            b = tf.constant(2.0, name="x")
+        assert a.op.name == "x"
+        assert b.op.name == "x_1"
+
+    def test_name_scope_prefixes(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.name_scope("layer"):
+                c = tf.constant(1.0, name="w")
+        assert c.op.name == "layer/w"
+
+    def test_nested_scopes(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.name_scope("a"):
+                with g.name_scope("b"):
+                    c = tf.constant(1.0, name="c")
+        assert c.op.name == "a/b/c"
+
+    def test_repeated_scope_uniquified(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.name_scope("s"):
+                x = tf.constant(1.0, name="v")
+            with g.name_scope("s"):
+                y = tf.constant(1.0, name="v")
+        assert x.op.name == "s/v"
+        assert y.op.name == "s_1/v"
+
+    def test_empty_scope_name_rejected(self):
+        g = tf.Graph()
+        with pytest.raises(InvalidArgumentError):
+            with g.name_scope(""):
+                pass
+
+
+class TestDeviceScopes:
+    def test_device_applies_to_ops(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/gpu:0"):
+                c = tf.constant(1.0)
+        assert c.op.device == "/gpu:0"
+
+    def test_nested_device_innermost_wins(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/cpu:0"):
+                with g.device("/job:ps/task:0"):
+                    c = tf.constant(1.0)
+        assert c.op.device == "/job:ps/task:0"
+
+    def test_device_none_clears(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/gpu:0"):
+                with g.device(None):
+                    c = tf.constant(1.0)
+        assert c.op.device == ""
+
+
+class TestControlDependencies:
+    def test_control_deps_recorded(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(1.0)
+            with g.control_dependencies([a]):
+                b = tf.constant(2.0)
+        assert a.op in b.op.control_inputs
+
+    def test_nested_control_deps_accumulate(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(1.0)
+            b = tf.constant(2.0)
+            with g.control_dependencies([a]):
+                with g.control_dependencies([b]):
+                    c = tf.constant(3.0)
+        assert set(c.op.control_inputs) == {a.op, b.op}
+
+    def test_bad_control_dep_rejected(self):
+        g = tf.Graph()
+        with pytest.raises(InvalidArgumentError):
+            with g.control_dependencies([42]):
+                pass
+
+
+class TestLookupAndLifecycle:
+    def test_get_operation_by_name(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.constant(1.0, name="target")
+        assert g.get_operation_by_name("target") is c.op
+        with pytest.raises(NotFoundError):
+            g.get_operation_by_name("ghost")
+
+    def test_get_tensor_by_name(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.constant(1.0, name="t")
+        assert g.get_tensor_by_name("t:0") is c
+        with pytest.raises(InvalidArgumentError):
+            g.get_tensor_by_name("t")  # missing index
+        with pytest.raises(InvalidArgumentError):
+            g.get_tensor_by_name("t:5")
+
+    def test_finalize_blocks_mutation(self):
+        g = tf.Graph()
+        with g.as_default():
+            tf.constant(1.0)
+        g.finalize()
+        with pytest.raises(FailedPreconditionError):
+            tf.constant(2.0, graph=g)
+
+    def test_cross_graph_inputs_rejected(self):
+        g1, g2 = tf.Graph(), tf.Graph()
+        with g1.as_default():
+            a = tf.constant(1.0)
+        with g2.as_default():
+            b = tf.constant(2.0)
+        with pytest.raises(InvalidArgumentError):
+            tf.add(a, b)
+
+    def test_collections(self):
+        g = tf.Graph()
+        g.add_to_collection("things", 1)
+        g.add_to_collection("things", 2)
+        assert g.get_collection("things") == [1, 2]
+        assert g.get_collection("missing") == []
+
+    def test_version_bumps_per_op(self):
+        g = tf.Graph()
+        v0 = g.version
+        with g.as_default():
+            tf.constant(1.0)
+        assert g.version == v0 + 1
+
+    def test_variables_collection(self):
+        g = tf.Graph()
+        with g.as_default():
+            v = tf.Variable(1.0, name="v")
+        assert v in g.get_collection(GraphKeys.GLOBAL_VARIABLES)

@@ -1,0 +1,335 @@
+"""Execution tests for the op library: every op checked against NumPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro as tf
+from repro.core.tensor import SymbolicValue
+from repro.errors import FailedPreconditionError, InvalidArgumentError
+
+
+def run_op(build, shape_only=False, seed=7):
+    """Build a graph via ``build()`` and run its returned fetches."""
+    g = tf.Graph(seed=seed)
+    with g.as_default():
+        fetches = build()
+    config = tf.SessionConfig(shape_only=shape_only)
+    with tf.Session(graph=g, config=config) as sess:
+        return sess.run(fetches)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("fn,np_fn", [
+        (tf.add, np.add),
+        (tf.subtract, np.subtract),
+        (tf.multiply, np.multiply),
+        (tf.divide, np.divide),
+        (tf.maximum, np.maximum),
+        (tf.minimum, np.minimum),
+    ])
+    def test_binary_matches_numpy(self, fn, np_fn):
+        a = np.array([[1.0, -2.0], [3.5, 4.0]], dtype=np.float32)
+        b = np.array([[2.0, 2.0], [0.5, -1.0]], dtype=np.float32)
+        result = run_op(lambda: fn(tf.constant(a), tf.constant(b)))
+        np.testing.assert_allclose(result, np_fn(a, b), rtol=1e-6)
+
+    def test_broadcasting(self):
+        a = np.ones((3, 1), dtype=np.float32)
+        b = np.arange(4, dtype=np.float32)
+        result = run_op(lambda: tf.add(tf.constant(a), tf.constant(b)))
+        np.testing.assert_allclose(result, a + b)
+
+    def test_mixed_dtype_promotes(self):
+        result = run_op(
+            lambda: tf.add(
+                tf.constant(1, dtype=tf.int32), tf.constant(2.5, dtype=tf.float64)
+            )
+        )
+        assert result.dtype == np.float64
+        assert result == pytest.approx(3.5)
+
+    @pytest.mark.parametrize("fn,np_fn", [
+        (tf.negative, np.negative),
+        (tf.square, np.square),
+        (tf.sqrt, np.sqrt),
+    ])
+    def test_unary_matches_numpy(self, fn, np_fn):
+        x = np.array([1.0, 4.0, 9.0], dtype=np.float64)
+        result = run_op(lambda: fn(tf.constant(x)))
+        np.testing.assert_allclose(result, np_fn(x))
+
+    @given(hnp.arrays(np.float32, hnp.array_shapes(max_dims=2, max_side=6),
+                      elements=st.floats(-100, 100, width=32)))
+    @settings(max_examples=20, deadline=None)
+    def test_property_add_self_is_double(self, x):
+        result = run_op(lambda: tf.add(tf.constant(x), tf.constant(x)))
+        np.testing.assert_allclose(result, 2 * x, rtol=1e-5)
+
+
+class TestMatMul:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 7)).astype(np.float32)
+        b = rng.normal(size=(7, 3)).astype(np.float32)
+        result = run_op(lambda: tf.matmul(tf.constant(a), tf.constant(b)))
+        np.testing.assert_allclose(result, a @ b, rtol=1e-5)
+
+    def test_transpose_flags(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(7, 5)).astype(np.float64)
+        b = rng.normal(size=(3, 7)).astype(np.float64)
+        result = run_op(
+            lambda: tf.matmul(
+                tf.constant(a), tf.constant(b), transpose_a=True, transpose_b=True
+            )
+        )
+        np.testing.assert_allclose(result, a.T @ b.T)
+
+    def test_matrix_vector(self):
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        v = np.array([1.0, 2.0, 3.0])
+        result = run_op(lambda: tf.matmul(tf.constant(a), tf.constant(v)))
+        np.testing.assert_allclose(result, a @ v)
+
+    def test_inner_dim_mismatch(self):
+        g = tf.Graph()
+        with g.as_default():
+            with pytest.raises(InvalidArgumentError):
+                tf.matmul(
+                    tf.constant(np.zeros((2, 3), np.float32)),
+                    tf.constant(np.zeros((4, 5), np.float32)),
+                )
+
+    def test_dot(self):
+        x = np.arange(8, dtype=np.float64)
+        y = np.arange(8, dtype=np.float64)[::-1].copy()
+        result = run_op(lambda: tf.dot(tf.constant(x), tf.constant(y)))
+        assert result == pytest.approx(np.dot(x, y))
+
+
+class TestReductions:
+    def test_reduce_sum_all(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert run_op(lambda: tf.reduce_sum(tf.constant(x))) == pytest.approx(66.0)
+
+    def test_reduce_sum_axis(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)
+        result = run_op(lambda: tf.reduce_sum(tf.constant(x), axis=0))
+        np.testing.assert_allclose(result, x.sum(axis=0))
+
+    def test_reduce_mean_keepdims(self):
+        x = np.arange(6, dtype=np.float64).reshape(2, 3)
+        result = run_op(lambda: tf.reduce_mean(tf.constant(x), axis=1, keepdims=True))
+        np.testing.assert_allclose(result, x.mean(axis=1, keepdims=True))
+
+    def test_reduce_max(self):
+        x = np.array([3.0, -1.0, 7.0])
+        assert run_op(lambda: tf.reduce_max(tf.constant(x))) == pytest.approx(7.0)
+
+    def test_add_n(self):
+        xs = [np.full(3, float(i)) for i in range(4)]
+        result = run_op(lambda: tf.add_n([tf.constant(x) for x in xs]))
+        np.testing.assert_allclose(result, sum(xs))
+
+
+class TestArrayOps:
+    def test_reshape_with_minus_one(self):
+        x = np.arange(12, dtype=np.float32)
+        result = run_op(lambda: tf.reshape(tf.constant(x), [3, -1]))
+        assert result.shape == (3, 4)
+
+    def test_reshape_bad_count(self):
+        g = tf.Graph()
+        with g.as_default():
+            with pytest.raises(InvalidArgumentError):
+                tf.reshape(tf.constant(np.zeros(10, np.float32)), [3, 4])
+
+    def test_transpose(self):
+        x = np.arange(6, dtype=np.float64).reshape(2, 3)
+        result = run_op(lambda: tf.transpose(tf.constant(x)))
+        np.testing.assert_allclose(result, x.T)
+
+    def test_concat_and_split_roundtrip(self):
+        x = np.arange(12, dtype=np.float32).reshape(2, 6)
+
+        def build():
+            parts = tf.split(tf.constant(x), 3, axis=1)
+            return tf.concat(parts, axis=1)
+
+        np.testing.assert_allclose(run_op(build), x)
+
+    def test_stack(self):
+        xs = [np.full((2,), float(i), dtype=np.float64) for i in range(3)]
+        result = run_op(lambda: tf.stack([tf.constant(x) for x in xs]))
+        np.testing.assert_allclose(result, np.stack(xs))
+
+    def test_slice(self):
+        x = np.arange(20, dtype=np.float32).reshape(4, 5)
+        result = run_op(lambda: tf.slice_(tf.constant(x), [1, 2], [2, 3]))
+        np.testing.assert_allclose(result, x[1:3, 2:5])
+
+    def test_fill_zeros_ones(self):
+        z, o = run_op(lambda: [tf.zeros([2, 2]), tf.ones([3], dtype=tf.float64)])
+        np.testing.assert_allclose(z, np.zeros((2, 2)))
+        np.testing.assert_allclose(o, np.ones(3))
+
+    def test_cast(self):
+        result = run_op(lambda: tf.cast(tf.constant([1.9, -1.9]), tf.int32))
+        np.testing.assert_array_equal(result, np.array([1, -1], dtype=np.int32))
+
+    def test_squeeze_expand_dims(self):
+        x = np.zeros((2, 1, 3), dtype=np.float32)
+        sq, ex = run_op(lambda: [
+            tf.squeeze(tf.constant(x), axis=1),
+            tf.expand_dims(tf.constant(x), axis=0),
+        ])
+        assert sq.shape == (2, 3)
+        assert ex.shape == (1, 2, 1, 3)
+
+
+class TestRandomOps:
+    def test_uniform_range_and_shape(self):
+        result = run_op(lambda: tf.random_uniform([100], minval=2.0, maxval=5.0))
+        assert result.shape == (100,)
+        assert result.min() >= 2.0
+        assert result.max() < 5.0
+
+    def test_deterministic_given_seeds(self):
+        def build():
+            return tf.random_uniform([8], seed=11)
+
+        a = run_op(build, seed=3)
+        b = run_op(build, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_graph_seed_changes_values(self):
+        def build():
+            return tf.random_uniform([8], seed=11)
+
+        a = run_op(build, seed=3)
+        b = run_op(build, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_successive_runs_draw_fresh_values(self):
+        g = tf.Graph(seed=5)
+        with g.as_default():
+            r = tf.random_normal([4])
+        with tf.Session(graph=g) as sess:
+            first = sess.run(r)
+            second = sess.run(r)
+        assert not np.array_equal(first, second)
+
+    def test_normal_moments(self):
+        result = run_op(lambda: tf.random_normal([5000], mean=1.0, stddev=2.0))
+        assert result.mean() == pytest.approx(1.0, abs=0.15)
+        assert result.std() == pytest.approx(2.0, abs=0.15)
+
+    def test_int_dtype_rejected(self):
+        g = tf.Graph()
+        with g.as_default():
+            with pytest.raises(InvalidArgumentError):
+                tf.random_uniform([2], dtype=tf.int32)
+
+
+class TestFFTOps:
+    def test_fft_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        x = (rng.normal(size=64) + 1j * rng.normal(size=64)).astype(np.complex128)
+        result = run_op(lambda: tf.fft(tf.constant(x)))
+        np.testing.assert_allclose(result, np.fft.fft(x), rtol=1e-10)
+
+    def test_ifft_inverts_fft(self):
+        rng = np.random.default_rng(3)
+        x = (rng.normal(size=32) + 1j * rng.normal(size=32)).astype(np.complex128)
+        result = run_op(lambda: tf.ifft(tf.fft(tf.constant(x))))
+        np.testing.assert_allclose(result, x, atol=1e-12)
+
+    def test_real_input_rejected(self):
+        g = tf.Graph()
+        with g.as_default():
+            with pytest.raises(InvalidArgumentError):
+                tf.fft(tf.constant(np.zeros(4, np.float64)))
+
+
+class TestVariables:
+    def test_init_read_assign(self):
+        g = tf.Graph()
+        with g.as_default():
+            v = tf.Variable(np.array([1.0, 2.0]), name="v")
+            update = tf.assign(v, tf.constant(np.array([5.0, 6.0])))
+        with tf.Session(graph=g) as sess:
+            sess.run(v.initializer)
+            np.testing.assert_allclose(sess.run(v), [1.0, 2.0])
+            sess.run(update.op)
+            np.testing.assert_allclose(sess.run(v), [5.0, 6.0])
+
+    def test_uninitialized_read_fails(self):
+        g = tf.Graph()
+        with g.as_default():
+            v = tf.Variable(1.0, name="v")
+        with tf.Session(graph=g) as sess:
+            with pytest.raises(FailedPreconditionError):
+                sess.run(v)
+
+    def test_assign_add_sub(self):
+        g = tf.Graph()
+        with g.as_default():
+            v = tf.Variable(10.0, name="v")
+            inc = tf.assign_add(v, tf.constant(2.5))
+            dec = tf.assign_sub(v, tf.constant(1.0))
+        with tf.Session(graph=g) as sess:
+            sess.run(v.initializer)
+            sess.run(inc.op)
+            sess.run(inc.op)
+            sess.run(dec.op)
+            assert sess.run(v) == pytest.approx(14.0)
+
+    def test_global_variables_initializer(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.Variable(1.0, name="a")
+            b = tf.Variable(2.0, name="b")
+            init = tf.global_variables_initializer(graph=g)
+        with tf.Session(graph=g) as sess:
+            sess.run(init)
+            assert sess.run(a) == pytest.approx(1.0)
+            assert sess.run(b) == pytest.approx(2.0)
+
+    def test_state_persists_across_sessions_on_same_server(self):
+        g = tf.Graph()
+        with g.as_default():
+            v = tf.Variable(3.0, name="v")
+        sess1 = tf.Session(graph=g)
+        sess1.run(v.initializer)
+        # Second session against the same master sees the same resources.
+        sess2 = tf.Session(sess1.master, graph=g)
+        assert sess2.run(v) == pytest.approx(3.0)
+
+
+class TestShapeOnlyMode:
+    def test_matmul_symbolic(self):
+        def build():
+            a = tf.random_uniform([128, 64])
+            b = tf.random_uniform([64, 32])
+            return tf.matmul(a, b)
+
+        result = run_op(build, shape_only=True)
+        assert isinstance(result, SymbolicValue)
+        assert result.shape == (128, 32)
+
+    def test_constants_stay_concrete(self):
+        result = run_op(lambda: tf.constant([1.0, 2.0]), shape_only=True)
+        np.testing.assert_allclose(result, [1.0, 2.0])
+
+    def test_mixed_symbolic_propagates(self):
+        def build():
+            big = tf.random_uniform([64])
+            small = tf.constant(np.ones(64, dtype=np.float32))
+            return tf.add(big, small)
+
+        result = run_op(build, shape_only=True)
+        assert isinstance(result, SymbolicValue)
+        assert result.shape == (64,)

@@ -1,0 +1,172 @@
+"""Unit tests for graph pruning and partitioning (send/recv insertion)."""
+
+import numpy as np
+import pytest
+
+import repro as tf
+from repro.core.partition import FEED, _job_task_of, build_plan
+from repro.core.placement import Placer
+from repro.errors import InvalidArgumentError
+
+
+def make_placer(gpus: int = 1):
+    return Placer(
+        {("localhost", 0): {"cpu": 1, "gpu": gpus}},
+        default_job="localhost",
+        default_task=0,
+    )
+
+
+def plan_for(graph, fetch_tensors=(), fetch_ops=(), feeds=None, gpus=1):
+    return build_plan(
+        graph,
+        list(fetch_ops),
+        list(fetch_tensors),
+        feeds or {},
+        make_placer(gpus),
+        client_device="/job:localhost/task:0/device:cpu:0",
+        run_id=1,
+    )
+
+
+class TestPruning:
+    def test_unreachable_ops_excluded(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(1.0, name="a")
+            b = tf.constant(2.0, name="b")  # unreachable from fetch
+            c = tf.identity(a, name="c")
+        plan = plan_for(g, fetch_tensors=[c])
+        names = {i.op.name for i in plan.items if i.kind == "op"}
+        assert "a" in names and "c" in names
+        assert "b" not in names
+
+    def test_control_deps_are_pulled_in(self):
+        g = tf.Graph()
+        with g.as_default():
+            side = tf.constant(0.0, name="side")
+            with g.control_dependencies([side]):
+                out = tf.constant(1.0, name="out")
+        plan = plan_for(g, fetch_tensors=[out])
+        names = {i.op.name for i in plan.items if i.kind == "op"}
+        assert "side" in names
+
+    def test_feed_cuts_upstream(self):
+        g = tf.Graph()
+        with g.as_default():
+            expensive = tf.random_uniform([1024], name="expensive")
+            out = tf.identity(expensive, name="out")
+        plan = plan_for(g, fetch_tensors=[out],
+                        feeds={expensive.name: np.zeros(1024, np.float32)})
+        names = {i.op.name for i in plan.items if i.kind == "op"}
+        assert "expensive" not in names
+        # The consumer's source points at the feed.
+        out_item = next(i for i in plan.items if i.kind == "op"
+                        and i.op.name == "out")
+        assert out_item.sources[0][0] is FEED
+
+    def test_fetch_op_without_outputs(self):
+        g = tf.Graph()
+        with g.as_default():
+            noop = tf.no_op(name="barrier")
+        plan = plan_for(g, fetch_ops=[noop])
+        assert any(i.kind == "op" and i.op.name == "barrier" for i in plan.items)
+
+
+class TestSendRecvInsertion:
+    def test_same_device_has_no_transfers(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/cpu:0"):
+                a = tf.constant(np.ones(4, np.float32))
+                b = tf.identity(a)
+        plan = plan_for(g, fetch_tensors=[b])
+        kinds = {i.kind for i in plan.items}
+        assert "send" not in kinds and "recv" not in kinds
+
+    def test_cross_device_edge_gets_pair(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/cpu:0"):
+                a = tf.constant(np.ones(4, np.float32), name="a")
+            with g.device("/gpu:0"):
+                b = tf.identity(a, name="b")
+        plan = plan_for(g, fetch_ops=[b.op])
+        sends = [i for i in plan.items if i.kind == "send"]
+        recvs = [i for i in plan.items if i.kind == "recv"]
+        assert len(sends) == 1 and len(recvs) == 1
+        assert sends[0].key == recvs[0].key
+        assert "cpu" in sends[0].device and "gpu" in recvs[0].device
+
+    def test_two_consumers_share_one_transfer(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/cpu:0"):
+                a = tf.constant(np.ones(4, np.float32), name="a")
+            with g.device("/gpu:0"):
+                b = tf.identity(a, name="b")
+                c = tf.identity(a, name="c")
+            total = tf.add(b, c)
+        plan = plan_for(g, fetch_ops=[total.op])
+        data_sends = [i for i in plan.items
+                      if i.kind == "send" and not i.tensor_name.startswith("^")]
+        assert len(data_sends) == 1  # deduped: one transfer feeds b and c
+
+    def test_cross_device_control_dep_uses_zero_byte_pair(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/cpu:0"):
+                first = tf.constant(1.0, name="first")
+            with g.device("/gpu:0"):
+                with g.control_dependencies([first]):
+                    second = tf.fill([2], 0.0, name="second")
+        plan = plan_for(g, fetch_ops=[second.op])
+        ctrl_sends = [i for i in plan.items
+                      if i.kind == "send" and i.tensor_name.startswith("^")]
+        assert len(ctrl_sends) == 1
+        assert ctrl_sends[0].sources == []  # no payload
+
+    def test_consumer_counts_for_memory(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(np.ones(4, np.float32), name="a")
+            b = tf.identity(a, name="b")
+            c = tf.identity(a, name="c")
+        plan = plan_for(g, fetch_tensors=[b, c])
+        a_item = next(i for i in plan.items if i.kind == "op" and i.op.name == "a")
+        # b and c consume a:0 (fetch consumers attach to b/c items).
+        assert a_item.consumer_counts[0] == 2
+
+
+class TestFetchRouting:
+    def test_fetch_from_gpu_routes_to_client(self):
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/gpu:0"):
+                x = tf.fill([4], 2.0, name="x")
+        plan = plan_for(g, fetch_tensors=[x])
+        # The fetch source must live on the client device.
+        item, idx = plan.fetch_sources[0]
+        assert item.device == "/job:localhost/task:0/device:cpu:0"
+        assert item.kind == "recv"
+
+    def test_fed_fetch_is_echoed(self):
+        g = tf.Graph()
+        with g.as_default():
+            p = tf.placeholder(tf.float32, shape=[2], name="p")
+        plan = plan_for(g, fetch_tensors=[p], feeds={"p:0": np.ones(2, np.float32)})
+        assert plan.fetch_sources[0][0] is FEED
+
+
+class TestHelpers:
+    def test_job_task_of(self):
+        assert _job_task_of("/job:w/task:3/device:gpu:0") == ("w", 3)
+        with pytest.raises(InvalidArgumentError):
+            _job_task_of("/device:gpu:0")
+
+    def test_tasks_listing(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.constant(1.0)
+        plan = plan_for(g, fetch_tensors=[c])
+        assert plan.tasks == [("localhost", 0)]

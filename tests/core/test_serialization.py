@@ -1,0 +1,140 @@
+"""Wire-format tests: varints, tensors, graphs, and the 2 GB limit."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as tf
+from repro.core import serialization as ser
+from repro.core.tensor import SymbolicValue
+from repro.errors import DataLossError, ResourceExhaustedError, UnimplementedError
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63 - 1])
+    def test_roundtrip(self, value):
+        encoded = ser.encode_varint(value)
+        assert ser.decode_varint(io.BytesIO(encoded)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            ser.encode_varint(-1)
+
+    def test_truncated_raises(self):
+        encoded = ser.encode_varint(300)
+        with pytest.raises(DataLossError):
+            ser.decode_varint(io.BytesIO(encoded[:1]))
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, value):
+        assert ser.decode_varint(io.BytesIO(ser.encode_varint(value))) == value
+
+
+class TestTensorSerialization:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32,
+                                       np.int64, np.complex128, np.bool_])
+    def test_roundtrip_dtypes(self, dtype):
+        rng = np.random.default_rng(0)
+        arr = (rng.normal(size=(3, 4)) > 0).astype(dtype)
+        restored = ser.deserialize_tensor(ser.serialize_tensor(arr))
+        np.testing.assert_array_equal(restored, arr)
+        assert restored.dtype == arr.dtype
+
+    def test_scalar_roundtrip(self):
+        arr = np.float64(3.14)
+        restored = ser.deserialize_tensor(ser.serialize_tensor(arr))
+        assert restored == pytest.approx(3.14)
+
+    def test_symbolic_roundtrip(self):
+        spec = SymbolicValue((1024, 1024), tf.float32)
+        restored = ser.deserialize_tensor(ser.serialize_tensor(spec))
+        assert restored == spec
+
+    def test_corrupt_payload(self):
+        data = ser.serialize_tensor(np.zeros(4, np.float32))
+        with pytest.raises(DataLossError):
+            ser.deserialize_tensor(data[:-3])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, values):
+        arr = np.array(values, dtype=np.float64)
+        restored = ser.deserialize_tensor(ser.serialize_tensor(arr))
+        np.testing.assert_array_equal(restored, arr)
+
+
+class TestGraphSerialization:
+    def _sample_graph(self):
+        g = tf.Graph(seed=9)
+        with g.as_default():
+            with g.device("/job:worker/task:0/device:gpu:0"):
+                a = tf.random_uniform([4, 4], seed=1, name="a")
+            b = tf.constant(np.eye(4, dtype=np.float32), name="b")
+            c = tf.matmul(a, b, name="c")
+            with g.control_dependencies([c.op]):
+                tf.no_op(name="done")
+        return g
+
+    def test_roundtrip_preserves_structure(self):
+        g = self._sample_graph()
+        restored = ser.deserialize_graph(ser.serialize_graph(g))
+        assert [op.name for op in restored.operations] == [
+            op.name for op in g.operations
+        ]
+        c = restored.get_operation_by_name("c")
+        assert c.type == "MatMul"
+        assert [t.name for t in c.inputs] == ["a:0", "b:0"]
+        done = restored.get_operation_by_name("done")
+        assert [d.name for d in done.control_inputs] == ["c"]
+        assert restored.seed == 9
+
+    def test_roundtrip_preserves_devices_and_attrs(self):
+        g = self._sample_graph()
+        restored = ser.deserialize_graph(ser.serialize_graph(g))
+        a = restored.get_operation_by_name("a")
+        assert a.device == "/job:worker/task:0/device:gpu:0"
+        assert a.get_attr("seed") == 1
+        b = restored.get_operation_by_name("b")
+        np.testing.assert_array_equal(b.get_attr("value"), np.eye(4))
+
+    def test_restored_graph_executes(self):
+        g = self._sample_graph()
+        restored = ser.deserialize_graph(ser.serialize_graph(g))
+        # Strip distributed placement for a local run.
+        c_local = restored.get_tensor_by_name("b:0")
+        with tf.Session(graph=restored) as sess:
+            result = sess.run(c_local)
+        np.testing.assert_array_equal(result, np.eye(4))
+
+    def test_two_gb_limit_enforced(self):
+        g = tf.Graph()
+        with g.as_default():
+            tf.constant(np.zeros(1024, np.float64), name="payload")
+        with pytest.raises(ResourceExhaustedError, match="limit"):
+            ser.serialize_graph(g, limit=1024)
+
+    def test_graphdef_size_counts_constants(self):
+        g1 = tf.Graph()
+        with g1.as_default():
+            tf.constant(np.zeros(10, np.float64))
+        g2 = tf.Graph()
+        with g2.as_default():
+            tf.constant(np.zeros(10000, np.float64))
+        assert ser.graphdef_size(g2) > ser.graphdef_size(g1) + 70000
+
+    def test_dataset_attr_not_serializable(self):
+        from repro.core.ops.data_ops import Dataset
+
+        g = tf.Graph()
+        with g.as_default():
+            Dataset.range(3).make_one_shot_iterator().get_next()
+        with pytest.raises(UnimplementedError):
+            ser.serialize_graph(g)
+
+    def test_bad_magic(self):
+        with pytest.raises(DataLossError):
+            ser.deserialize_graph(b"XXXX" + b"\x00" * 10)

@@ -1,0 +1,118 @@
+"""Concurrent sessions, plan caching, and determinism properties."""
+
+import numpy as np
+import pytest
+
+import repro as tf
+from repro.simnet.events import Environment
+from repro.simnet.machines import tegner
+
+
+class TestConcurrentSessions:
+    def test_two_workers_progress_in_parallel(self):
+        """Two sessions sharing one simulation overlap in simulated time."""
+        env = Environment()
+        machine = tegner(env, k420_nodes=2)
+        cluster = tf.ClusterSpec({
+            "worker": ["t01n01:8888", "t01n02:8888"],
+        })
+        servers = [tf.Server(cluster, "worker", i, machine=machine)
+                   for i in range(2)]
+        g = tf.Graph()
+        with g.as_default():
+            products = []
+            for w in range(2):
+                with g.device(f"/job:worker/task:{w}/device:gpu:0"):
+                    x = tf.random_uniform([256, 256], name=f"x{w}")
+                    products.append(tf.matmul(x, x, name=f"prod{w}"))
+        sessions = [tf.Session(servers[w], graph=g,
+                               config=tf.SessionConfig(shape_only=True))
+                    for w in range(2)]
+
+        # Serial execution.
+        t0 = env.now
+        sessions[0].run(products[0].op)
+        sessions[1].run(products[1].op)
+        serial = env.now - t0
+
+        # Concurrent execution: both sessions as simultaneous processes.
+        t0 = env.now
+
+        def runner(w):
+            yield from sessions[w].run_gen(products[w].op)
+
+        procs = [env.process(runner(w)) for w in range(2)]
+        for proc in procs:
+            env.run(until=proc)
+        concurrent = env.now - t0
+        assert concurrent < serial * 0.75
+
+    def test_plan_cache_reused_across_runs(self):
+        g = tf.Graph()
+        with g.as_default():
+            v = tf.Variable(0.0, name="v")
+            bump = tf.assign_add(v, tf.constant(1.0))
+        sess = tf.Session(graph=g)
+        sess.run(v.initializer)
+        for _ in range(3):
+            sess.run(bump.op)
+        assert sess.run(v) == pytest.approx(3.0)
+        # One plan per distinct (fetch, feeds, graph version).
+        assert len(sess._plan_cache) == 3  # initializer, bump, read
+
+    def test_graph_growth_invalidates_cache(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(1.0, name="a")
+        sess = tf.Session(graph=g)
+        assert sess.run(a) == pytest.approx(1.0)
+        with g.as_default():
+            b = a + tf.constant(2.0)
+        assert sess.run(b) == pytest.approx(3.0)
+        assert sess.run(a) == pytest.approx(1.0)
+
+    def test_same_fetch_twice_in_one_run(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.constant(5.0)
+        with tf.Session(graph=g) as sess:
+            x, y = sess.run([c, c])
+        assert x == y == pytest.approx(5.0)
+
+
+class TestDeterminism:
+    def test_identical_programs_identical_schedules(self):
+        """The DES is deterministic: same program, same simulated times."""
+
+        def run_once():
+            env = Environment()
+            machine = tegner(env, k420_nodes=2)
+            cluster = tf.ClusterSpec({"ps": ["t01n01:8888"],
+                                      "worker": ["t01n02:8888"]})
+            ps = tf.Server(cluster, "ps", 0, machine=machine)
+            worker = tf.Server(cluster, "worker", 0, machine=machine)
+            g = tf.Graph(seed=1)
+            with g.as_default():
+                with g.device("/job:ps/task:0/device:cpu:0"):
+                    v = tf.Variable(np.zeros(1000, np.float32), name="v")
+                with g.device("/job:worker/task:0/device:cpu:0"):
+                    d = tf.ones([1000], dtype=tf.float32)
+                update = tf.assign_add(v, d)
+            sess = tf.Session(worker, graph=g)
+            sess.run(v.initializer)
+            for _ in range(5):
+                sess.run(update.op)
+            return env.now
+
+        assert run_once() == run_once()
+
+    def test_random_values_depend_only_on_seeds(self):
+        def values(graph_seed):
+            g = tf.Graph(seed=graph_seed)
+            with g.as_default():
+                r = tf.random_normal([16], seed=2)
+            with tf.Session(graph=g) as sess:
+                return sess.run(r)
+
+        np.testing.assert_array_equal(values(10), values(10))
+        assert not np.array_equal(values(10), values(11))

@@ -1,0 +1,154 @@
+"""Unit tests for TensorShape, Tensor handles, and SymbolicValue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as tf
+from repro import dtypes
+from repro.core.tensor import SymbolicValue, TensorShape, as_shape, value_nbytes
+from repro.errors import InvalidArgumentError
+
+
+class TestTensorShape:
+    def test_fully_defined(self):
+        s = TensorShape([2, 3])
+        assert s.is_fully_defined
+        assert s.rank == 2
+        assert s.num_elements() == 6
+        assert s.as_tuple() == (2, 3)
+
+    def test_partial(self):
+        s = TensorShape([None, 3])
+        assert not s.is_fully_defined
+        assert s.rank == 2
+        assert s.num_elements() is None
+        with pytest.raises(InvalidArgumentError):
+            s.as_tuple()
+
+    def test_unknown_rank(self):
+        s = TensorShape(None)
+        assert s.rank is None
+        with pytest.raises(InvalidArgumentError):
+            len(s)
+        with pytest.raises(InvalidArgumentError):
+            s.as_list()
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            TensorShape([-2])
+
+    def test_compatibility(self):
+        assert TensorShape([None, 3]).is_compatible_with(TensorShape([2, 3]))
+        assert TensorShape(None).is_compatible_with(TensorShape([7]))
+        assert not TensorShape([2, 3]).is_compatible_with(TensorShape([2, 4]))
+        assert not TensorShape([2]).is_compatible_with(TensorShape([2, 1]))
+
+    def test_merge(self):
+        merged = TensorShape([None, 3]).merge_with(TensorShape([2, None]))
+        assert merged == TensorShape([2, 3])
+
+    def test_merge_incompatible_raises(self):
+        with pytest.raises(InvalidArgumentError):
+            TensorShape([2]).merge_with(TensorShape([3]))
+
+    def test_concatenate(self):
+        assert TensorShape([2]).concatenate(TensorShape([3, 4])) == TensorShape([2, 3, 4])
+        assert TensorShape(None).concatenate(TensorShape([3])).rank is None
+
+    def test_indexing_and_slicing(self):
+        s = TensorShape([2, None, 4])
+        assert s[0] == 2
+        assert s[1] is None
+        assert s[1:] == TensorShape([None, 4])
+
+    def test_equality_with_lists(self):
+        assert TensorShape([2, 3]) == [2, 3]
+        assert as_shape((5,)) == TensorShape([5])
+
+    def test_str(self):
+        assert str(TensorShape([2, None])) == "(2, ?)"
+        assert str(TensorShape(None)) == "<unknown>"
+
+    @given(dims=st.lists(st.integers(min_value=0, max_value=64), max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_property_merge_idempotent(self, dims):
+        s = TensorShape(dims)
+        assert s.merge_with(s) == s
+        assert s.is_compatible_with(s)
+
+
+class TestTensorHandle:
+    def test_name_and_metadata(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.constant([[1.0, 2.0]])
+        assert c.name.endswith(":0")
+        assert c.dtype is dtypes.float32
+        assert c.shape == TensorShape([1, 2])
+        assert c.graph is g
+
+    def test_operator_overloads_build_ops(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(2.0)
+            b = tf.constant(3.0)
+            ops_made = {
+                (a + b).op.type: "Add",
+                (a - b).op.type: "Sub",
+                (a * b).op.type: "Mul",
+                (a / b).op.type: "Div",
+                (-a).op.type: "Neg",
+            }
+        for actual, expected in ops_made.items():
+            assert actual == expected
+
+    def test_matmul_operator(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.constant(np.eye(2, dtype=np.float32))
+            b = tf.constant(np.ones((2, 2), dtype=np.float32))
+            c = a @ b
+        assert c.op.type == "MatMul"
+
+    def test_no_truth_value(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.constant(1.0)
+        with pytest.raises(TypeError):
+            bool(c)
+
+    def test_set_shape_refines(self):
+        g = tf.Graph()
+        with g.as_default():
+            p = tf.placeholder(tf.float32, shape=[None, 4])
+            p.set_shape([2, 4])
+        assert p.shape == TensorShape([2, 4])
+
+    def test_set_shape_conflict_raises(self):
+        g = tf.Graph()
+        with g.as_default():
+            p = tf.placeholder(tf.float32, shape=[3])
+        with pytest.raises(InvalidArgumentError):
+            p.set_shape([4])
+
+
+class TestSymbolicValue:
+    def test_metadata(self):
+        v = SymbolicValue((4, 8), dtypes.float64)
+        assert v.size == 32
+        assert v.nbytes == 256
+        assert v.ndim == 2
+
+    def test_of_ndarray(self):
+        spec = SymbolicValue.of(np.zeros((2, 2), dtype=np.complex128))
+        assert spec == SymbolicValue((2, 2), dtypes.complex128)
+
+    def test_of_is_idempotent(self):
+        v = SymbolicValue((3,), dtypes.int32)
+        assert SymbolicValue.of(v) is v
+
+    def test_value_nbytes(self):
+        assert value_nbytes(np.zeros(10, dtype=np.float32)) == 40
+        assert value_nbytes(SymbolicValue((10,), dtypes.float32)) == 40

@@ -1,0 +1,61 @@
+"""ClusterSpec parsing and queries (paper Listing 2)."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.runtime.clusterspec import ClusterSpec
+
+
+class TestConstruction:
+    def test_listing2(self):
+        spec = ClusterSpec({
+            "ps": ["t01n01:8888"],
+            "worker": ["t01n02:8888", "t01n03:8888"],
+        })
+        assert spec.jobs == ["ps", "worker"]
+        assert spec.num_tasks("worker") == 2
+        assert spec.task_address("ps", 0) == "t01n01:8888"
+        assert spec.job_tasks("worker") == ["t01n02:8888", "t01n03:8888"]
+
+    def test_dict_form_sparse_indices(self):
+        spec = ClusterSpec({"worker": {0: "a:1", 3: "b:1"}})
+        assert spec.task_indices("worker") == [0, 3]
+        assert spec.task_address("worker", 3) == "b:1"
+
+    def test_copy_constructor(self):
+        original = ClusterSpec({"ps": ["h:1"]})
+        clone = ClusterSpec(original)
+        assert clone == original
+        assert clone is not original
+
+    def test_as_dict_roundtrip(self):
+        d = {"ps": ["a:1"], "worker": ["b:1", "c:1"]}
+        assert ClusterSpec(d).as_dict() == d
+
+    @pytest.mark.parametrize("bad", [
+        {},  # no jobs
+        {"ps": []},  # empty job
+        {"ps": ["noport"]},  # malformed address
+        {"ps": {-1: "a:1"}},  # negative index
+        "not-a-mapping",
+    ])
+    def test_invalid_inputs(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            ClusterSpec(bad)
+
+    def test_unknown_lookups(self):
+        spec = ClusterSpec({"ps": ["a:1"]})
+        with pytest.raises(NotFoundError):
+            spec.task_address("worker", 0)
+        with pytest.raises(NotFoundError):
+            spec.task_address("ps", 5)
+
+    def test_contains_and_hash(self):
+        spec = ClusterSpec({"ps": ["a:1"]})
+        assert "ps" in spec
+        assert "worker" not in spec
+        assert hash(spec) == hash(ClusterSpec({"ps": ["a:1"]}))
+
+    def test_all_addresses(self):
+        spec = ClusterSpec({"ps": ["a:1"], "worker": ["b:1"]})
+        assert spec.all_addresses() == ["a:1", "b:1"]

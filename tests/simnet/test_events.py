@@ -1,0 +1,243 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simnet.events import AllOf, AnyOf, Environment, Event, Interrupt
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Environment(10.0).now == 10.0
+
+    def test_timeout_advances_clock(self, env):
+        env.timeout(2.5)
+        env.run()
+        assert env.now == 2.5
+
+    def test_run_until_number_stops_clock_exactly(self, env):
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(5.0)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+
+class TestProcesses:
+    def test_process_return_value(self, env):
+        def proc():
+            yield env.timeout(1.0)
+            return 42
+
+        p = env.process(proc())
+        assert env.run(until=p) == 42
+        assert env.now == 1.0
+
+    def test_sequential_timeouts_accumulate(self, env):
+        log = []
+
+        def proc():
+            for delay in (1.0, 2.0, 3.0):
+                yield env.timeout(delay)
+                log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [1.0, 3.0, 6.0]
+
+    def test_two_processes_interleave_deterministically(self, env):
+        log = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield env.timeout(period)
+                log.append((env.now, name))
+
+        env.process(ticker("a", 1.0))
+        env.process(ticker("b", 1.0))
+        env.run()
+        # FIFO tie-break: "a" was created first, so it logs first at each t.
+        assert log == [
+            (1.0, "a"), (1.0, "b"),
+            (2.0, "a"), (2.0, "b"),
+            (3.0, "a"), (3.0, "b"),
+        ]
+
+    def test_process_waiting_on_process(self, env):
+        def inner():
+            yield env.timeout(2.0)
+            return "inner-result"
+
+        def outer():
+            result = yield env.process(inner())
+            return result + "!"
+
+        p = env.process(outer())
+        assert env.run(until=p) == "inner-result!"
+
+    def test_exception_propagates_to_waiter(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def waiter():
+            try:
+                yield env.process(failing())
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter())
+        assert env.run(until=p) == "caught boom"
+
+    def test_unhandled_process_exception_raises_from_run(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        env.process(failing())
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_yield_non_event_is_error(self, env):
+        def bad():
+            yield 5
+
+        env.process(bad())
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run()
+
+    def test_wait_on_already_processed_event(self, env):
+        ev = env.event()
+        ev.succeed("early")
+
+        def late_waiter():
+            yield env.timeout(3.0)
+            value = yield ev
+            return value
+
+        p = env.process(late_waiter())
+        assert env.run(until=p) == "early"
+
+    def test_run_until_event_deadlock_detected(self, env):
+        ev = env.event()  # never triggered
+        with pytest.raises(RuntimeError, match="deadlock"):
+            env.run(until=ev)
+
+
+class TestEvents:
+    def test_succeed_twice_is_error(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_value_before_trigger_is_error(self, env):
+        ev = env.event()
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_failed_event_defused_does_not_crash_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("handled elsewhere"))
+        ev.defused()
+        env.run()  # no raise
+
+    def test_failed_event_undefused_crashes_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("unhandled"))
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self, env):
+        def proc():
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(5.0, value="slow")
+            results = yield AllOf(env, [t1, t2])
+            return sorted(results.values())
+
+        p = env.process(proc())
+        assert env.run(until=p) == ["fast", "slow"]
+        assert env.now == 5.0
+
+    def test_any_of_returns_at_fastest(self, env):
+        def proc():
+            t1 = env.timeout(1.0, value="fast")
+            t2 = env.timeout(5.0, value="slow")
+            results = yield AnyOf(env, [t1, t2])
+            return list(results.values())
+
+        p = env.process(proc())
+        assert env.run(until=p) == ["fast"]
+        assert env.now == 1.0
+
+    def test_empty_all_of_triggers_immediately(self, env):
+        def proc():
+            result = yield AllOf(env, [])
+            return result
+
+        p = env.process(proc())
+        assert env.run(until=p) == {}
+
+    def test_all_of_fails_if_child_fails(self, env):
+        def failing():
+            yield env.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def proc():
+            with pytest.raises(RuntimeError, match="child died"):
+                yield AllOf(env, [env.process(failing()), env.timeout(10.0)])
+            return env.now
+
+        p = env.process(proc())
+        assert env.run(until=p) == 1.0
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, env.now)
+
+        def attacker(target):
+            yield env.timeout(3.0)
+            target.interrupt("preempted")
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        assert env.run(until=p) == ("interrupted", "preempted", 3.0)
+
+    def test_interrupt_dead_process_is_error(self, env):
+        def quick():
+            yield env.timeout(1.0)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError, match="terminated"):
+            p.interrupt()

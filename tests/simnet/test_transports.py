@@ -1,0 +1,171 @@
+"""Transport models: protocol paths, bandwidth ordering, contention."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.simnet import transports
+from repro.simnet.events import Environment
+from repro.simnet.machines import kebnekaise, localhost, tegner
+
+MB = 1024 * 1024
+
+
+def measure(machine, src_dev, dst_dev, nbytes, protocol, repeats=1):
+    """Simulated seconds for `repeats` sequential transfers."""
+    env = machine.env
+    start = env.now
+
+    def mover():
+        for _ in range(repeats):
+            yield from transports.transfer(src_dev, dst_dev, nbytes, protocol)
+
+    proc = env.process(mover())
+    env.run(until=proc)
+    return (env.now - start) / repeats
+
+
+def bandwidth(machine, src, dst, nbytes, protocol):
+    return nbytes / measure(machine, src, dst, nbytes, protocol)
+
+
+@pytest.fixture()
+def tegner_pair():
+    env = Environment()
+    machine = tegner(env, k420_nodes=2)
+    a, b = machine.node("t01n01"), machine.node("t01n02")
+    return machine, a, b
+
+
+@pytest.fixture()
+def kebnekaise_pair():
+    env = Environment()
+    machine = kebnekaise(env, k80_nodes=2)
+    a, b = machine.node("b-cn0001"), machine.node("b-cn0002")
+    return machine, a, b
+
+
+class TestProtocolMapping:
+    def test_server_protocol_to_data_protocol(self):
+        assert transports.data_protocol("grpc") == "grpc"
+        assert transports.data_protocol("grpc+mpi") == "mpi"
+        assert transports.data_protocol("grpc+verbs") == "rdma"
+
+    def test_unknown_protocols_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            transports.data_protocol("smtp")
+        with pytest.raises(InvalidArgumentError):
+            transports.protocol_latency("smtp")
+
+    def test_unknown_data_protocol_in_transfer(self, tegner_pair):
+        machine, a, b = tegner_pair
+
+        def mover():
+            yield from transports.transfer(a.cpu, b.cpu, 10, "carrier-pigeon")
+
+        proc = machine.env.process(mover())
+        with pytest.raises(InvalidArgumentError):
+            machine.env.run(until=proc)
+
+
+class TestPaperFig7Shapes:
+    """The qualitative content of Fig. 7, asserted as ordering bands."""
+
+    def test_tegner_protocol_ordering_host_memory(self, tegner_pair):
+        machine, a, b = tegner_pair
+        bw = {
+            p: bandwidth(machine, a.cpu, b.cpu, 128 * MB, p)
+            for p in ("rdma", "mpi", "grpc")
+        }
+        assert bw["rdma"] > bw["mpi"] > bw["grpc"]
+
+    def test_tegner_rdma_host_exceeds_half_theoretical(self, tegner_pair):
+        machine, a, b = tegner_pair
+        bw = bandwidth(machine, a.cpu, b.cpu, 128 * MB, "rdma")
+        # Paper: >6 GB/s, i.e. >50% of EDR's 12 GB/s.
+        assert bw > 6.0e9
+
+    def test_tegner_k420_rdma_saturates_near_1300_mbs(self, tegner_pair):
+        machine, a, b = tegner_pair
+        bw = bandwidth(machine, a.gpus[0], b.gpus[0], 128 * MB, "rdma")
+        assert 1.0e9 < bw < 1.6e9  # paper: ~1300 MB/s
+
+    def test_kebnekaise_k80_rdma_below_2300_mbs(self, kebnekaise_pair):
+        machine, a, b = kebnekaise_pair
+        bw = bandwidth(machine, a.gpus[0], b.gpus[0], 128 * MB, "rdma")
+        assert 1.7e9 < bw < 2.4e9  # paper: saturates below 2300 MB/s
+
+    def test_mpi_gpu_hundreds_of_mbs(self, tegner_pair):
+        machine, a, b = tegner_pair
+        bw = bandwidth(machine, a.gpus[0], b.gpus[0], 128 * MB, "mpi")
+        assert 0.2e9 < bw < 0.6e9  # paper: ~318 MB/s on Tegner
+
+    def test_tegner_grpc_rides_ethernet(self, tegner_pair):
+        machine, a, b = tegner_pair
+        bw = bandwidth(machine, a.cpu, b.cpu, 128 * MB, "grpc")
+        assert bw < 0.125e9  # bounded by 1GbE
+
+    def test_kebnekaise_grpc_similar_to_mpi(self, kebnekaise_pair):
+        machine, a, b = kebnekaise_pair
+        grpc = bandwidth(machine, a.gpus[0], b.gpus[0], 128 * MB, "grpc")
+        mpi = bandwidth(machine, a.gpus[0], b.gpus[0], 128 * MB, "mpi")
+        assert grpc == pytest.approx(mpi, rel=0.5)  # paper: "similar"
+
+    def test_small_messages_get_lower_bandwidth(self, tegner_pair):
+        machine, a, b = tegner_pair
+        bw2 = bandwidth(machine, a.cpu, b.cpu, 2 * MB, "rdma")
+        bw128 = bandwidth(machine, a.cpu, b.cpu, 128 * MB, "rdma")
+        assert bw2 < bw128  # Fig. 7: 2MB bars below 128MB bars
+
+
+class TestPathMechanics:
+    def test_same_device_is_free(self, tegner_pair):
+        machine, a, b = tegner_pair
+        assert measure(machine, a.cpu, a.cpu, 64 * MB, "rdma") == 0.0
+
+    def test_zero_bytes_is_free(self, tegner_pair):
+        machine, a, b = tegner_pair
+        assert measure(machine, a.cpu, b.cpu, 0, "rdma") == 0.0
+
+    def test_local_cpu_gpu_uses_pcie(self):
+        env = Environment()
+        machine = localhost(env)
+        node = machine.node("localhost")
+        seconds = measure(machine, node.cpu, node.gpus[0], 64 * MB, "rdma")
+        expected = 64 * MB / node.gpus[0].model.pcie_rate
+        assert seconds == pytest.approx(expected, rel=0.01)
+
+    def test_negative_size_rejected(self, tegner_pair):
+        machine, a, b = tegner_pair
+
+        def mover():
+            yield from transports.transfer(a.cpu, b.cpu, -5, "rdma")
+
+        proc = machine.env.process(mover())
+        with pytest.raises(InvalidArgumentError):
+            machine.env.run(until=proc)
+
+    def test_far_socket_gpu_slower_than_near(self, kebnekaise_pair):
+        """Fig. 9: a GPU on the far NUMA island crosses the QPI link."""
+        machine, a, b = kebnekaise_pair
+        near = bandwidth(machine, a.gpus[0], b.cpu, 64 * MB, "rdma")
+        far = bandwidth(machine, a.gpus[3], b.cpu, 64 * MB, "rdma")
+        assert far <= near * 1.001
+
+    def test_nic_contention_shares_bandwidth(self, kebnekaise_pair):
+        """Two instances streaming from one node split the NIC fairly."""
+        machine, a, b = kebnekaise_pair
+        env = machine.env
+        done = {}
+
+        def mover(name, src):
+            start = env.now
+            yield from transports.transfer(src, b.cpu, 256 * MB, "rdma")
+            done[name] = env.now - start
+
+        solo_time = measure(machine, a.cpu, b.cpu, 256 * MB, "rdma")
+        env.process(mover("x", a.cpu))
+        env.process(mover("y", a.cpu))
+        env.run()
+        # Sharing one HCA: each flow takes ~2x the solo time.
+        assert done["x"] > 1.7 * solo_time
+        assert done["y"] > 1.7 * solo_time

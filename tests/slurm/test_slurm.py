@@ -1,0 +1,256 @@
+"""Slurm simulation: hostlists, workload manager, scontrol, resolver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as tf
+from repro.errors import InvalidArgumentError, ResourceExhaustedError
+from repro.simnet.events import Environment
+from repro.simnet.machines import kebnekaise, tegner
+from repro.slurm.cluster_resolver import SlurmClusterResolver
+from repro.slurm.hostlist import compress_hostlist, expand_hostlist
+from repro.slurm.scontrol import Scontrol
+from repro.slurm.workload_manager import (
+    SlurmWorkloadManager,
+    decode_tasks_per_node,
+    encode_tasks_per_node,
+)
+
+
+class TestHostlist:
+    @pytest.mark.parametrize("text,expected", [
+        ("t01n01", ["t01n01"]),
+        ("t01n[01-03]", ["t01n01", "t01n02", "t01n03"]),
+        ("t01n[01-02,05]", ["t01n01", "t01n02", "t01n05"]),
+        ("a[1-2],b03", ["a1", "a2", "b03"]),
+        ("gpu[08-11]", ["gpu08", "gpu09", "gpu10", "gpu11"]),
+        ("", []),
+    ])
+    def test_expand(self, text, expected):
+        assert expand_hostlist(text) == expected
+
+    @pytest.mark.parametrize("bad", [
+        "t01n[01-",  # unbalanced
+        "t01n[1-2][3-4]",  # multiple groups
+        "t01n[b-c]",  # non-numeric
+        "t01n[05-02]",  # descending
+    ])
+    def test_expand_rejects_garbage(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            expand_hostlist(bad)
+
+    def test_compress_ranges(self):
+        hosts = ["t01n01", "t01n02", "t01n03", "t01n07"]
+        assert compress_hostlist(hosts) == "t01n[01-03,07]"
+
+    def test_compress_single(self):
+        assert compress_hostlist(["t01n05"]) == "t01n05"
+
+    def test_zero_padding_preserved(self):
+        assert expand_hostlist(compress_hostlist(["n001", "n002"])) == ["n001", "n002"]
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=30, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, numbers):
+        hosts = [f"node{n:03d}" for n in sorted(numbers)]
+        assert expand_hostlist(compress_hostlist(hosts)) == hosts
+
+
+class TestTasksPerNodeRLE:
+    @pytest.mark.parametrize("counts,text", [
+        ([2, 2, 2], "2(x3)"),
+        ([4], "4"),
+        ([2, 2, 1], "2(x2),1"),
+        ([1, 2, 1], "1,2,1"),
+    ])
+    def test_encode(self, counts, text):
+        assert encode_tasks_per_node(counts) == text
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, counts):
+        assert decode_tasks_per_node(encode_tasks_per_node(counts)) == counts
+
+
+@pytest.fixture()
+def tegner_slurm():
+    env = Environment()
+    machine = tegner(env, k420_nodes=4)
+    return machine, SlurmWorkloadManager(machine)
+
+
+class TestWorkloadManager:
+    def test_submit_by_nodes(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(num_nodes=2, tasks_per_node=1)
+        assert len(job.nodes) == 2
+        assert job.ntasks == 2
+        assert job.nodelist == "t01n[01-02]"
+
+    def test_allocation_excludes_busy_nodes(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        first = slurm.submit(num_nodes=2)
+        second = slurm.submit(num_nodes=2)
+        assert not set(first.nodes) & set(second.nodes)
+        with pytest.raises(ResourceExhaustedError):
+            slurm.submit(num_nodes=1)
+
+    def test_cancel_frees_nodes(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(num_nodes=4)
+        slurm.cancel(job.job_id)
+        assert len(slurm.idle_nodes()) == 4
+
+    def test_submit_by_ntasks(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(ntasks=5, tasks_per_node=2)
+        assert job.tasks_per_node == [2, 2, 1]
+        assert job.ntasks == 5
+
+    def test_explicit_nodelist(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(nodelist="t01n[02-03]", tasks_per_node=1)
+        assert job.nodes == ["t01n02", "t01n03"]
+
+    def test_environment_variables(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(num_nodes=2, tasks_per_node=2)
+        environ = job.environment(procid=3)
+        assert environ["SLURM_JOB_NODELIST"] == "t01n[01-02]"
+        assert environ["SLURM_NTASKS"] == "4"
+        assert environ["SLURM_TASKS_PER_NODE"] == "2(x2)"
+        assert environ["SLURM_PROCID"] == "3"
+
+    def test_bad_partition(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        with pytest.raises(InvalidArgumentError):
+            slurm.submit(num_nodes=1, partition="gpu")
+
+    def test_task_hosts_plane_distribution(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(num_nodes=2, tasks_per_node=2)
+        assert job.task_hosts() == ["t01n01", "t01n01", "t01n02", "t01n02"]
+
+
+class TestScontrol:
+    def test_show_hostnames(self):
+        ctl = Scontrol()
+        assert ctl.show_hostnames("a[1-3]") == "a1\na2\na3"
+
+    def test_show_job(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(num_nodes=2)
+        text = Scontrol(slurm).show_job(job.job_id)
+        assert f"JobId={job.job_id}" in text
+        assert "NodeList=t01n[01-02]" in text
+
+    def test_run_dispatch(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        ctl = Scontrol(slurm)
+        assert ctl.run("show", "hostnames", "x[1-2]") == "x1\nx2"
+        with pytest.raises(InvalidArgumentError):
+            ctl.run("update", "nodename=x")
+
+
+class TestClusterResolver:
+    def _resolver(self, machine, slurm, jobs, tasks_per_node):
+        job = slurm.submit(
+            num_nodes=-(-sum(jobs.values()) // tasks_per_node),
+            tasks_per_node=tasks_per_node,
+        )
+        return SlurmClusterResolver(
+            jobs=jobs,
+            environ=job.environment(),
+            scontrol=Scontrol(slurm),
+        )
+
+    def test_ps_worker_layout(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        resolver = self._resolver(machine, slurm, {"ps": 1, "worker": 3}, 1)
+        spec = resolver.cluster_spec()
+        assert spec.as_dict() == {
+            "ps": ["t01n01:8888"],
+            "worker": ["t01n02:8888", "t01n03:8888", "t01n04:8888"],
+        }
+
+    def test_colocated_tasks_get_distinct_ports(self):
+        env = Environment()
+        machine = kebnekaise(env, k80_nodes=2)
+        slurm = SlurmWorkloadManager(machine)
+        job = slurm.submit(num_nodes=2, tasks_per_node=4)
+        resolver = SlurmClusterResolver(
+            jobs={"worker": 8},
+            environ=job.environment(),
+            scontrol=Scontrol(slurm),
+        )
+        addresses = resolver.cluster_spec().job_tasks("worker")
+        assert addresses[0] == "b-cn0001:8888"
+        assert addresses[3] == "b-cn0001:8891"
+        assert addresses[4] == "b-cn0002:8888"
+
+    def test_gpu_masks_disjoint_per_node(self):
+        env = Environment()
+        machine = kebnekaise(env, k80_nodes=1)
+        slurm = SlurmWorkloadManager(machine)
+        job = slurm.submit(num_nodes=1, tasks_per_node=4)
+        resolver = SlurmClusterResolver(
+            jobs={"worker": 4},
+            environ=job.environment(),
+            scontrol=Scontrol(slurm),
+        )
+        masks = resolver.gpu_allocation()
+        flat = [gpu for mask in masks.values() for gpu in mask]
+        assert sorted(flat) == [0, 1, 2, 3]  # Table I: 4 engines, 4 tasks
+
+    def test_get_task_info(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        resolver = self._resolver(machine, slurm, {"ps": 1, "worker": 2}, 1)
+        assert resolver.get_task_info(0) == ("ps", 0)
+        assert resolver.get_task_info(1) == ("worker", 0)
+        assert resolver.get_task_info(2) == ("worker", 1)
+        with pytest.raises(InvalidArgumentError):
+            resolver.get_task_info(99)
+
+    def test_too_many_tasks_rejected(self, tegner_slurm):
+        machine, slurm = tegner_slurm
+        job = slurm.submit(num_nodes=2, tasks_per_node=1)
+        with pytest.raises(ResourceExhaustedError):
+            SlurmClusterResolver(
+                jobs={"worker": 5},
+                environ=job.environment(),
+                scontrol=Scontrol(slurm),
+            )
+
+    def test_missing_env_rejected(self):
+        with pytest.raises(InvalidArgumentError, match="SLURM"):
+            SlurmClusterResolver(jobs={"worker": 1}, environ={})
+
+    def test_create_servers_end_to_end(self):
+        """Resolver-booted servers run a distributed graph (Table I config)."""
+        env = Environment()
+        machine = kebnekaise(env, k80_nodes=1)
+        slurm = SlurmWorkloadManager(machine)
+        job = slurm.submit(num_nodes=1, tasks_per_node=4)
+        resolver = SlurmClusterResolver(
+            jobs={"ps": 1, "worker": 3},
+            environ=job.environment(),
+            scontrol=Scontrol(slurm),
+        )
+        servers = resolver.create_servers(machine, protocol="grpc+verbs")
+        g = tf.Graph()
+        with g.as_default():
+            with g.device("/job:ps/task:0/device:cpu:0"):
+                total = tf.Variable(np.zeros(2), name="total")
+            updates = []
+            for i in range(3):
+                with g.device(f"/job:worker/task:{i}/device:gpu:0"):
+                    contribution = tf.fill([2], float(i + 1), dtype=tf.float64)
+                updates.append(tf.assign_add(total, contribution))
+        sess = tf.Session(servers[("worker", 0)], graph=g)
+        sess.run(total.initializer)
+        for update in updates:
+            sess.run(update.op)
+        np.testing.assert_allclose(sess.run(total), [6.0, 6.0])
