@@ -1,0 +1,64 @@
+"""Smoke target: one small point of every figure benchmark.
+
+A fast end-to-end sanity sweep (seconds, not minutes) so CI and local
+runs can verify each paper app still executes and validates after a
+change, without paying for the full fig7/fig8/fig10/fig11 sweeps. Wall
+times land in ``BENCH_optimizer.json`` for cross-PR tracking.
+
+Run with: ``PYTHONPATH=src python -m pytest benchmarks/bench_smoke.py -q``
+"""
+
+import time
+
+from repro.apps.cg import run_cg
+from repro.apps.fft import run_fft
+from repro.apps.matmul import run_matmul
+from repro.apps.stream import run_stream
+from repro.figures.table1_nodes import run_table1
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def test_smoke_table1(record_bench):
+    wall, rows = _timed(run_table1)
+    assert rows, "table 1 produced no rows"
+    record_bench("smoke_table1", wall_s=round(wall, 4))
+
+
+def test_smoke_fig7_stream(record_bench):
+    wall, res = _timed(lambda: run_stream(
+        system="tegner-k420", size_mb=2, iterations=5, shape_only=True))
+    assert res.seconds_per_transfer > 0
+    record_bench("smoke_fig7_stream", wall_s=round(wall, 4),
+                 seconds_per_transfer=res.seconds_per_transfer)
+
+
+def test_smoke_fig8_matmul(record_bench):
+    wall, res = _timed(lambda: run_matmul(
+        system="tegner-k420", n=512, tile=128, num_gpus=2, shape_only=False,
+        seed=1))
+    assert res.validated
+    record_bench("smoke_fig8_matmul", wall_s=round(wall, 4),
+                 gflops=res.gflops)
+
+
+def test_smoke_fig10_cg(record_bench):
+    wall, res = _timed(lambda: run_cg(
+        system="tegner-k80", n=128, num_gpus=2, iterations=60,
+        shape_only=False, seed=7))
+    assert res.residual < 1e-6
+    record_bench("smoke_fig10_cg", wall_s=round(wall, 4),
+                 residual=res.residual, plan_items=res.plan_items)
+
+
+def test_smoke_fig11_fft(record_bench):
+    wall, res = _timed(lambda: run_fft(
+        system="tegner-k420", n=1 << 12, num_tiles=8, num_gpus=2,
+        shape_only=False, seed=3))
+    assert res.validated
+    record_bench("smoke_fig11_fft", wall_s=round(wall, 4),
+                 max_error=res.max_error)

@@ -4,13 +4,21 @@ Every benchmark regenerates one of the paper's tables/figures inside the
 simulator, asserts the paper's qualitative findings (orderings, scaling
 bands), and archives the rendered table plus the paper-vs-measured
 comparison under ``benchmarks/results/``.
+
+Perf-trajectory tracking: benchmarks that call the ``record_bench``
+fixture contribute entries (plan items before/after optimization, host
+wall-clock per arm, simulated time) to ``benchmarks/results/
+BENCH_optimizer.json``, written once per pytest session so the numbers
+can be compared across PRs.
 """
 
+import json
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_optimizer.json")
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +38,41 @@ def record_table(results_dir):
         return path
 
     return write
+
+
+@pytest.fixture(scope="session")
+def _bench_records(results_dir):
+    """Session-wide accumulator flushed to BENCH_optimizer.json at exit.
+
+    Merged into any existing file so partial runs (e.g. only the smoke
+    sweep) update their own entries without dropping the others.
+    """
+    records: dict = {}
+    yield records
+    if not records:
+        return
+    merged: dict = {}
+    try:
+        with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(records)
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.fixture
+def record_bench(_bench_records):
+    """Callable recording one benchmark's perf entry.
+
+    Usage: ``record_bench("fig10_cg", items_before=..., items_after=...,
+    wall_off=..., wall_on=..., sim_elapsed=...)`` — arbitrary numeric
+    fields are allowed; they land under the given name in the JSON.
+    """
+
+    def record(name: str, **fields) -> None:
+        _bench_records[name] = fields
+
+    return record

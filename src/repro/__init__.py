@@ -41,6 +41,7 @@ from repro.core.graph import (
 from repro.core.metadata import RunMetadata, RunOptions
 from repro.core.ops import *  # noqa: F401,F403 — the flat op namespace
 from repro.core.ops import __all__ as _ops_all
+from repro.core.optimizer import OptimizerOptions
 from repro.core.session import Session, SessionConfig
 from repro.core.tensor import SymbolicValue, Tensor, TensorShape
 from repro.dtypes import (
@@ -66,6 +67,7 @@ __all__ = [
     "SymbolicValue",
     "Session",
     "SessionConfig",
+    "OptimizerOptions",
     "RunOptions",
     "RunMetadata",
     "ClusterSpec",

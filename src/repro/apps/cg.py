@@ -26,7 +26,7 @@ from typing import Optional
 import numpy as np
 
 import repro as tf
-from repro.apps.common import ClusterHandle, build_cluster
+from repro.apps.common import ClusterHandle, build_cluster, session_config
 from repro.core.checkpoint import Saver
 from repro.core.tensor import SymbolicValue
 from repro.errors import InvalidArgumentError
@@ -48,6 +48,9 @@ class CGResult:
     validated: bool
     checkpoint_path: Optional[str] = None
     solution: Optional[np.ndarray] = None  # assembled x (concrete mode)
+    # Total schedulable plan items across all sessions' cached plans —
+    # the optimizer benchmark's item-count metric.
+    plan_items: int = 0
 
     @property
     def flops(self) -> float:
@@ -108,6 +111,7 @@ def run_cg(
     resume_dir: Optional[str] = None,
     cluster: Optional[ClusterHandle] = None,
     problem=None,
+    optimize: Optional[bool] = None,
 ) -> CGResult:
     """Run the distributed CG solver.
 
@@ -121,6 +125,9 @@ def run_cg(
         problem: optional concrete ``(A, b)`` pair (e.g. a discretized PDE,
             the paper's motivating CG use case); defaults to a random SPD
             system.
+        optimize: force plan-time graph optimization and the executor fast
+            path on/off for every session (``None`` keeps the defaults);
+            used by ``benchmarks/bench_optimizer.py`` for A/B comparisons.
     """
     if n % num_gpus != 0:
         raise InvalidArgumentError(f"num_gpus {num_gpus} must divide n {n}")
@@ -231,7 +238,7 @@ def run_cg(
                                  name="reduce_round", graph=g)
         rs_only_step = rs_red.reducer_step(name="rs_round")
 
-    shape_cfg = tf.SessionConfig(shape_only=shape_only)
+    shape_cfg = session_config(shape_only=shape_only, optimize=optimize)
     worker_sessions = [
         tf.Session(handle.server("worker", w), graph=g, config=shape_cfg)
         for w in range(num_gpus)
@@ -317,6 +324,10 @@ def run_cg(
         validated = bool(residual < 1e-6) if iterations >= n // 4 else bool(
             residual < 1.0
         )
+    plan_items = sum(
+        sess.plan_cache_info()["items"]
+        for sess in (*worker_sessions, reducer_session)
+    )
     return CGResult(
         system=system,
         n=n,
@@ -327,4 +338,5 @@ def run_cg(
         validated=validated,
         checkpoint_path=checkpoint_dir,
         solution=x if not shape_only else None,
+        plan_items=plan_items,
     )

@@ -26,7 +26,20 @@ from repro.slurm.cluster_resolver import SlurmClusterResolver
 from repro.slurm.scontrol import Scontrol
 from repro.slurm.workload_manager import SlurmWorkloadManager
 
-__all__ = ["ClusterHandle", "build_cluster", "SYSTEMS"]
+__all__ = ["ClusterHandle", "build_cluster", "session_config", "SYSTEMS"]
+
+
+def session_config(shape_only: bool = False, optimize: Optional[bool] = None):
+    """The apps' shared SessionConfig: shape-only switch plus the A/B
+    knob forcing plan-time optimization and the executor fast path on or
+    off together (``None`` keeps the defaults)."""
+    from repro.core.session import SessionConfig
+
+    config = SessionConfig(shape_only=shape_only)
+    if optimize is not None:
+        config.graph_optimization = optimize
+        config.executor_fast_path = optimize
+    return config
 
 # system name -> (machine factory kwargs builder, node_type)
 SYSTEMS = {

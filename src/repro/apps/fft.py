@@ -21,7 +21,7 @@ from typing import Optional
 import numpy as np
 
 import repro as tf
-from repro.apps.common import ClusterHandle, build_cluster
+from repro.apps.common import ClusterHandle, build_cluster, session_config
 from repro.errors import InvalidArgumentError, OutOfRangeError
 
 __all__ = ["run_fft", "FFTResult", "merge_subtransforms"]
@@ -120,6 +120,7 @@ def run_fft(
     seed: int = 0,
     cluster: Optional[ClusterHandle] = None,
     signal=None,
+    optimize: Optional[bool] = None,
 ) -> FFTResult:
     """Run the distributed FFT application.
 
@@ -165,7 +166,7 @@ def run_fft(
             enqueue_ops.append(result_queue.enqueue([idx, spectrum],
                                                     name=f"push_w{w}"))
 
-    shape_cfg = tf.SessionConfig(shape_only=shape_only)
+    shape_cfg = session_config(shape_only=shape_only, optimize=optimize)
     state = {"collect_end": None, "merge_end": None}
     collected: dict[int, np.ndarray] = {}
 

@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 import repro as tf
-from repro.apps.common import ClusterHandle, build_cluster
+from repro.apps.common import ClusterHandle, build_cluster, session_config
 from repro.core.tensor import SymbolicValue
 from repro.errors import InvalidArgumentError, OutOfRangeError
 
@@ -80,6 +80,7 @@ def run_matmul(
     seed: int = 0,
     store_results: bool = True,
     cluster: Optional[ClusterHandle] = None,
+    optimize: Optional[bool] = None,
 ) -> MatmulResult:
     """Run the tiled matmul application.
 
@@ -166,7 +167,7 @@ def run_matmul(
 
     def worker_proc(w: int):
         sess = tf.Session(handle.server("worker", w), graph=g,
-                          config=tf.SessionConfig(shape_only=shape_only))
+                          config=session_config(shape_only, optimize))
         active = [r for r in range(num_reducers) if (w, r) in enqueue_ops]
         # Round-robin across reducer pipelines so both queues fill evenly.
         while active:
@@ -178,7 +179,7 @@ def run_matmul(
 
     def reducer_proc(r: int):
         sess = tf.Session(handle.server("reducer", r), graph=g,
-                          config=tf.SessionConfig(shape_only=shape_only))
+                          config=session_config(shape_only, optimize))
         node = handle.server("reducer", r).runtime.node
         acc = accumulators[r]
         tile_bytes = tile * tile * 4

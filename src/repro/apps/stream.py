@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 import repro as tf
-from repro.apps.common import ClusterHandle, build_cluster
+from repro.apps.common import ClusterHandle, build_cluster, session_config
 from repro.errors import InvalidArgumentError
 
 __all__ = ["run_stream", "StreamResult"]
@@ -53,6 +53,7 @@ def run_stream(
     iterations: int = 100,
     shape_only: bool = True,
     cluster: ClusterHandle | None = None,
+    optimize: bool | None = None,
 ) -> StreamResult:
     """Run the STREAM benchmark on a simulated system.
 
@@ -87,7 +88,7 @@ def run_stream(
             )
         update = tf.assign_add(target, source.value())
 
-    config = tf.SessionConfig(shape_only=shape_only)
+    config = session_config(shape_only=shape_only, optimize=optimize)
     sess = tf.Session(handle.server("worker", 0), graph=g, config=config)
     sess.run([target.initializer, source.initializer])
     # Warm-up transfer (connection setup, first-touch effects).

@@ -91,7 +91,9 @@ class DebugSession:
     def _watched_tensors(self, fetches) -> list[Tensor]:
         # Watch only ops that can feed the fetched subgraph to avoid
         # running unrelated (possibly blocking) ops.
-        structure, fetch_ops, fetch_tensors = self._session._parse_fetches(fetches)
+        structure, fetch_ops, fetch_tensors, _slots = self._session._parse_fetches(
+            fetches
+        )
         needed: set[str] = set()
         stack = list(fetch_ops) + [t.op for t in fetch_tensors]
         while stack:

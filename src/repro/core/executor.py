@@ -1,8 +1,35 @@
-"""Per-item execution on the discrete-event simulator.
+"""Dependency-counting plan execution on the discrete-event simulator.
 
-Every plan :class:`~repro.core.partition.Item` becomes one simulation
-process. Dependencies are expressed by waiting on the producer items'
-processes; device serialization happens through the device's
+The executor dispatches items off a ready list, mirroring TensorFlow's
+executor rather than spawning one thread per node: every item carries a
+static dependency count (precomputed by ``build_plan``); when an item
+completes, its dependents' counters drop, and freshly-ready items are
+dispatched.
+
+Dispatch has three lanes:
+
+* **inline fast path** — ``const`` items and ops whose kernels are plain
+  functions with zero-duration costs (``Const``, ``Identity``, variable
+  reads, ``Reshape``-style metadata ops, ``NoOp``) run synchronously in
+  the dispatcher, with no simulator :class:`Process`, no calendar events,
+  and only a synchronous claim/return on the device FIFO;
+* **light lane** — non-generator kernels that do advance the clock (or
+  must wait for a device slot) run through a hand-rolled callback chain:
+  device request, one timeout for the kernel's cost, release. Same
+  simulated timestamps as a process, but no generator machinery and
+  roughly half the calendar events. ``recv`` items complete off the
+  rendezvous value the same way;
+* **driven-generator lane** — generator kernels (queues, datasets, tile
+  I/O) and ``send`` items (multi-event transport modelling) are driven
+  through event callbacks: identical events and timestamps to a simulator
+  process, minus the process object and its bookkeeping events.
+
+``executor_fast_path=False`` bypasses all three lanes and restores the
+legacy executor — one simulator :class:`Process` per plan item, each
+waiting on an ``AllOf`` of its producers (``RunMetadata.process_items``
+counts those; fast-path runs report ``fast_path_items`` instead).
+
+Device serialization happens through the device's
 :class:`~repro.simnet.resources.Resource`; cross-device movement goes
 through the run's :class:`~repro.runtime.rendezvous.Rendezvous` with
 transport costs charged by :mod:`repro.simnet.transports`.
@@ -11,16 +38,17 @@ transport costs charged by :mod:`repro.simnet.transports`.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.core.kernels.registry import Cost, KernelContext, get_kernel
+from repro.core.kernels.registry import KernelContext, get_kernel
 from repro.core.metadata import NodeStats, RunMetadata, TransferStats
 from repro.core.partition import FEED, ExecutionPlan, Item, _job_task_of
 from repro.core.tensor import value_nbytes
 from repro.errors import InternalError
 from repro.simnet import transports
-from repro.simnet.events import AllOf, Environment
+from repro.simnet.events import AllOf, Environment, Event
 
 __all__ = ["ExecutionState", "launch_plan"]
 
@@ -31,6 +59,23 @@ _NO_DEVICE_HOLD = {
     "QueueDequeue",
     "QueueSize",
     "QueueClose",
+    "NoOp",
+}
+
+# Ops eligible for inline dispatch: plain-function kernels that never
+# yield, never touch queues/filesystem/RNG lanes, and always resolve to a
+# zero-duration cost (kind "none"). They still respect the device FIFO —
+# a free slot is claimed and returned synchronously (no calendar events),
+# a busy device queues them like any other op — so simulated timestamps
+# match the legacy executor exactly.
+_INLINE_OPS = {
+    "Const",
+    "Identity",
+    "Reshape",
+    "Squeeze",
+    "ExpandDims",
+    "Placeholder",
+    "VariableV2",
     "NoOp",
 }
 
@@ -63,6 +108,7 @@ class ExecutionState:
         graph_seed: Optional[int],
         metadata: Optional[RunMetadata] = None,
         trace: bool = False,
+        fast_path: bool = True,
     ):
         self.env = env
         self.plan = plan
@@ -75,24 +121,58 @@ class ExecutionState:
         self.graph_seed = graph_seed
         self.metadata = metadata
         self.trace = trace
+        self.fast_path = fast_path
         self._allocations: dict[tuple[int, int], _Allocation] = {}
         self._var_memory: dict[str, tuple[Any, int]] = {}
+        # Per-run memoization: device-string lookups and kernel contexts
+        # are hot (once per item execution) and constant within a run.
+        self._task_cache: dict[str, Any] = {}
+        self._device_cache: dict[str, Any] = {}
+        self._ctx_cache: dict[str, KernelContext] = {}
 
     # -- resolution ------------------------------------------------------------
     def task_runtime(self, device: str):
+        cached = self._task_cache.get(device)
+        if cached is not None:
+            return cached
         job, task = _job_task_of(device)
         try:
-            return self.task_runtimes[(job, task)]
+            runtime = self.task_runtimes[(job, task)]
         except KeyError:
             raise InternalError(
                 f"No runtime for task /job:{job}/task:{task}"
             ) from None
+        self._task_cache[device] = runtime
+        return runtime
 
     def device_obj(self, device: str):
-        return self.task_runtime(device).device(device)
+        cached = self._device_cache.get(device)
+        if cached is None:
+            cached = self._device_cache[device] = self.task_runtime(
+                device
+            ).device(device)
+        return cached
 
     def memory_pool(self, device: str):
         return self.task_runtime(device).memory_pools[device]
+
+    def kernel_ctx(self, device: str) -> KernelContext:
+        """The (immutable-per-run) kernel context for ``device``."""
+        ctx = self._ctx_cache.get(device)
+        if ctx is None:
+            task = self.task_runtime(device)
+            ctx = KernelContext(
+                symbolic=self.symbolic,
+                feeds=self.feeds,
+                resources=task.resources,
+                env=self.env,
+                device=self.device_obj(device),
+                worker=task,
+                run_id=self.run_id,
+                graph_seed=self.graph_seed,
+            )
+            self._ctx_cache[device] = ctx
+        return ctx
 
     # -- memory refcounting -------------------------------------------------------
     def register_outputs(self, item: Item, outputs: list) -> int:
@@ -158,19 +238,40 @@ class ExecutionState:
         return head.out_values[idx]
 
 
-def launch_plan(state: ExecutionState) -> list:
-    """Spawn one process per plan item; returns the process list."""
+def launch_plan(state: ExecutionState) -> Optional[Event]:
+    """Dispatch the plan; returns an event firing when every item is done.
+
+    With the fast path enabled (default) the dependency-counting
+    dispatcher runs; ``executor_fast_path=False`` falls back to the legacy
+    executor — one simulator process per plan item, each waiting on an
+    ``AllOf`` of its producers' processes — kept both as an opt-out and as
+    the baseline ``benchmarks/bench_optimizer.py`` measures against.
+
+    Returns ``None`` for empty plans (everything fetched was fed).
+    """
+    if not state.plan.items:
+        return None
+    if not state.fast_path:
+        return _legacy_launch(state)
+    return _Dispatcher(state).start()
+
+
+def _legacy_launch(state: ExecutionState) -> Event:
+    """Spawn every item as a process up front (the pre-optimizer design)."""
+    env = state.env
     processes = []
     for item in state.plan.items:
-        proc = state.env.process(
-            _item_proc(state, item), name=f"item:{item.uid}"
+        proc = env.process(
+            _legacy_item_proc(state, item), name=f"item:{item.uid}"
         )
         item.process = proc
         processes.append(proc)
-    return processes
+    if state.metadata is not None:
+        state.metadata.process_items += len(processes)
+    return AllOf(env, processes)
 
 
-def _dependencies(item: Item) -> list:
+def _legacy_dependencies(item: Item) -> list:
     deps = []
     seen = set()
     for source in item.sources:
@@ -186,24 +287,347 @@ def _dependencies(item: Item) -> list:
     return deps
 
 
-def _is_double_precision(op) -> bool:
-    for tensor in (*op.outputs, *op.inputs):
-        if tensor.dtype.size >= 8 and (
-            tensor.dtype.is_floating or tensor.dtype.is_complex
-        ):
+def _legacy_item_proc(state: ExecutionState, item: Item):
+    deps = _legacy_dependencies(item)
+    if deps:
+        yield AllOf(state.env, deps)
+    yield from _item_proc(state, item)
+
+
+class _Dispatcher:
+    """Ready-list scheduler with per-item dependency counters."""
+
+    def __init__(self, state: ExecutionState):
+        self.state = state
+        self.env = state.env
+        self.counts = {
+            item.uid: item.num_deps for item in state.plan.items
+        }
+        self.remaining = len(state.plan.items)
+        self.done = self.env.event()
+        self.finished = False
+
+    def start(self) -> Event:
+        self._dispatch(
+            item for item in self.state.plan.items if item.num_deps == 0
+        )
+        return self.done
+
+    # -- completion bookkeeping ------------------------------------------------
+    def _completed(self, item: Item) -> list[Item]:
+        self.remaining -= 1
+        ready = []
+        for dependent in item.dependents:
+            self.counts[dependent.uid] -= 1
+            if self.counts[dependent.uid] == 0:
+                ready.append(dependent)
+        if self.remaining == 0 and not self.finished:
+            self.finished = True
+            self.done.succeed()
+        return ready
+
+    def _fail(self, exc: BaseException) -> None:
+        if not self.finished:
+            self.finished = True
+            self.done.fail(exc)
+
+    def _item_done(self, item: Item) -> None:
+        """Light-lane completion: bookkeeping plus cascading dispatch."""
+        self._dispatch(self._completed(item))
+
+    # -- dispatch ---------------------------------------------------------------
+    def _dispatch(self, ready) -> None:
+        queue = deque(ready)
+        while queue:
+            if self.finished and self.remaining > 0:
+                return  # a failure was reported: stop feeding new work
+            item = queue.popleft()
+            try:
+                if item.kind == "const":
+                    _finish_const(self.state, item)
+                    self._count_fast()
+                    queue.extend(self._completed(item))
+                elif item.kind == "recv":
+                    self._start_recv(item)
+                elif item.kind == "send":
+                    self._start_driven(item, _run_send(self.state, item))
+                else:  # "op"
+                    if self._start_op(item):
+                        queue.extend(self._completed(item))
+            except BaseException as exc:  # kernel/validation errors
+                self._fail(exc)
+                return
+
+    def _count_fast(self) -> None:
+        if self.state.metadata is not None:
+            self.state.metadata.fast_path_items += 1
+
+    def _guard(self, fn) -> None:
+        """Run a continuation; route exceptions to the run's done event."""
+        try:
+            fn()
+        except BaseException as exc:
+            self._fail(exc)
+
+    # -- light lane: driven generators -------------------------------------------
+    def _start_driven(self, item: Item, gen) -> None:
+        """Drive a generator through event callbacks, without a Process.
+
+        Semantically identical to spawning the generator as a simulator
+        process — same events, same timestamps — but skips the process
+        object, its Initialize event and its completion event. Failures of
+        yielded events are thrown into the generator (so its cleanup runs)
+        and then surface through the run's done event.
+        """
+
+        def advance(send_value, throw_exc):
+            while True:
+                try:
+                    if throw_exc is not None:
+                        target = gen.throw(throw_exc)
+                    else:
+                        target = gen.send(send_value)
+                except StopIteration:
+                    self._count_fast()
+                    self._item_done(item)
+                    return
+                except BaseException as exc:
+                    self._fail(exc)
+                    return
+                if target.callbacks is None:  # already processed
+                    if target._ok:
+                        send_value, throw_exc = target._value, None
+                    else:
+                        target._defused = True
+                        send_value, throw_exc = None, target._value
+                    continue
+                target.callbacks.append(resume)
+                return
+
+        def resume(event):
+            if event._ok:
+                advance(event._value, None)
+            else:
+                event._defused = True
+                advance(None, event._value)
+
+        advance(None, None)
+
+    # -- light lane: recv --------------------------------------------------------
+    def _start_recv(self, item: Item) -> None:
+        state = self.state
+
+        def deliver(value):
+            item.out_values = [value]
+            if value is not None:
+                state.register_outputs(item, [value])
+            self._count_fast()
+            self._item_done(item)
+
+        # The matching send usually completed already (it is a registered
+        # dependency of this recv): take the value without event traffic.
+        present, value = state.rendezvous.recv_nowait(item.key)
+        if present:
+            deliver(value)
+            return
+        event = state.rendezvous.recv(item.key)
+        event.callbacks.append(
+            lambda _ev: self._guard(lambda: deliver(event._value))
+        )
+
+    # -- light lane: op ----------------------------------------------------------
+    def _start_op(self, item: Item) -> bool:
+        """Begin a light-lane op; returns True if it completed synchronously.
+
+        Generator kernels fall back to the process lane (the generator is
+        created lazily, so nothing has executed yet when we hand it over).
+        """
+        state = self.state
+        op = item.op
+        if op.type in _NO_DEVICE_HOLD:
+            # Queue ops have generator kernels and fall back inside
+            # _run_op_body; other no-hold ops complete inline.
+            return self._run_op_body(item, None, state.env.now)
+        device = state.device_obj(item.device)
+        request = device.resource.try_acquire()
+        if request is not None:
+            if op.type in _INLINE_OPS:
+                # Zero-duration metadata op: the hold would last zero
+                # simulated seconds, so claim and return the slot now —
+                # FIFO grant order is unchanged, no events are scheduled.
+                device.resource.release(request)
+                return self._run_op_body(item, None, state.env.now)
+            return self._run_op_body(item, request, state.env.now)
+        start = state.env.now
+        request = device.resource.request()
+        request.callbacks.append(
+            lambda _ev: self._guard(
+                lambda: self._run_op_granted(item, request, start)
+            )
+        )
+        return False
+
+    def _run_op_granted(self, item: Item, request, start: float) -> None:
+        """Continuation once a queued device request is finally granted."""
+        if self._run_op_body(item, request, start):
+            self._item_done(item)
+
+    def _run_op_body(self, item: Item, request, start: float) -> bool:
+        """Kernel execution once the device slot (if any) is held.
+
+        ``start`` is the dispatch time (before any device-queue wait), so
+        traced durations include the wait exactly as the legacy lane
+        reports them. Returns True when the item completed synchronously;
+        asynchronous completions (timeouts, GIL waits) cascade through
+        _item_done.
+        """
+        state = self.state
+        op = item.op
+        try:
+            kernel = get_kernel(op.type)
+            inputs = [state.resolve_source(s) for s in item.sources]
+            ctx = state.kernel_ctx(item.device)
+            result = kernel(op, inputs, ctx)
+            if inspect.isgenerator(result):
+                # Blocking kernel: drive it as a callback chain that
+                # inherits (and eventually releases) the held request.
+                self._start_driven(
+                    item, _finish_generator(state, item, result, request, start)
+                )
+                return False
+            outputs, cost = result
+            seconds = _cost_seconds(state, item, cost)
+        except BaseException:
+            if request is not None:
+                state.device_obj(item.device).resource.release(request)
+            raise
+        if seconds <= 0:
+            self._finish_op(item, request, outputs, start)
             return True
-    return False
+
+        if cost.host_bytes > 0:
+            # Host-side Python work serializes on the task's GIL.
+            task = state.task_runtime(item.device)
+            gil_req = task.gil.try_acquire()
+
+            def with_gil(_ev=None):
+                def work():
+                    timeout = state.env.timeout(seconds)
+                    timeout.callbacks.append(
+                        lambda _t: self._guard(release_and_finish)
+                    )
+
+                self._guard(work)
+
+            def release_and_finish():
+                task.gil.release(gil_req)
+                self._finish_op(item, request, outputs, start)
+                self._item_done(item)
+
+            if gil_req is not None:
+                with_gil()
+            else:
+                gil_req = task.gil.request()
+                gil_req.callbacks.append(with_gil)
+        else:
+            timeout = state.env.timeout(seconds)
+
+            def on_elapsed(_ev):
+                def work():
+                    self._finish_op(item, request, outputs, start)
+                    self._item_done(item)
+
+                self._guard(work)
+
+            timeout.callbacks.append(on_elapsed)
+        return False
+
+    def _finish_op(self, item: Item, request, outputs, start: float) -> None:
+        state = self.state
+        if request is not None:
+            state.device_obj(item.device).resource.release(request)
+        _finalize_op(state, item, outputs, start)
+        self._count_fast()
+
+
+def _cost_seconds(state: ExecutionState, item: Item, cost) -> float:
+    """Simulated seconds the executing device charges for ``cost``."""
+    if cost.kind not in ("compute", "memcpy", "io"):
+        return 0.0
+    return state.device_obj(item.device).time_for_cost(
+        cost, item.op.type, item.double_precision
+    )
+
+
+def _finalize_op(state: ExecutionState, item: Item, outputs, start: float) -> None:
+    """Post-kernel bookkeeping shared by every execution lane.
+
+    Outputs are live before inputs can be released: the kernel's working
+    set holds both (this is what makes big tiles tight on a 1 GB K420).
+    """
+    item.out_values = outputs
+    state.register_outputs(item, outputs)
+    for source in item.sources:
+        if source[0] is not FEED:
+            state.consume(source[0], source[1])
+    _record_node_stats(state, item, start)
+
+
+def _finish_generator(state: ExecutionState, item: Item, gen, request,
+                      start: float):
+    """Process-lane continuation for a light-lane op whose kernel yields."""
+    env = state.env
+    try:
+        result = yield from gen
+        outputs, cost = result
+        seconds = _cost_seconds(state, item, cost)
+        if seconds > 0:
+            if cost.host_bytes > 0:
+                task = state.task_runtime(item.device)
+                gil_req = task.gil.request()
+                yield gil_req
+                try:
+                    yield env.timeout(seconds)
+                finally:
+                    task.gil.release(gil_req)
+            else:
+                yield env.timeout(seconds)
+    finally:
+        if request is not None:
+            state.device_obj(item.device).resource.release(request)
+    _finalize_op(state, item, outputs, start)
+
+
+def _record_node_stats(state: ExecutionState, item: Item, start: float) -> None:
+    if state.trace and state.metadata is not None and item.op is not None:
+        state.metadata.step_stats.append(
+            NodeStats(
+                device=item.device,
+                op_name=item.op.name,
+                op_type=item.op.type,
+                start=start,
+                end=state.env.now,
+                out_bytes=sum(value_nbytes(v) for v in item.out_values or []),
+            )
+        )
+
+
+def _finish_const(state: ExecutionState, item: Item) -> None:
+    item.out_values = list(item.const_values)
+    state.register_outputs(item, item.out_values)
+    _record_node_stats(state, item, state.env.now)
 
 
 def _item_proc(state: ExecutionState, item: Item):
-    env = state.env
-    deps = _dependencies(item)
-    if deps:
-        yield AllOf(env, deps)
     if item.kind == "send":
         yield from _run_send(state, item)
     elif item.kind == "recv":
         yield from _run_recv(state, item)
+    elif item.kind == "const":
+        # Fast path disabled: const items still complete instantly, just
+        # inside a simulator process.
+        _finish_const(state, item)
+        return
     else:
         yield from _run_op(state, item)
 
@@ -252,16 +676,7 @@ def _run_op(state: ExecutionState, item: Item):
     task = state.task_runtime(item.device)
     kernel = get_kernel(op.type)
     inputs = [state.resolve_source(s) for s in item.sources]
-    ctx = KernelContext(
-        symbolic=state.symbolic,
-        feeds=state.feeds,
-        resources=task.resources,
-        env=env,
-        device=device,
-        worker=task,
-        run_id=state.run_id,
-        graph_seed=state.graph_seed,
-    )
+    ctx = state.kernel_ctx(item.device)
     hold_device = op.type not in _NO_DEVICE_HOLD
     request = None
     start = env.now
@@ -273,11 +688,7 @@ def _run_op(state: ExecutionState, item: Item):
         if inspect.isgenerator(result):
             result = yield from result
         outputs, cost = result
-        seconds = 0.0
-        if cost.kind in ("compute", "memcpy", "io"):
-            seconds = device.time_for_cost(
-                cost, op.type, _is_double_precision(op)
-            )
+        seconds = _cost_seconds(state, item, cost)
         if seconds > 0:
             if cost.host_bytes > 0:
                 # Host-side Python work serializes on the task's GIL.
@@ -292,21 +703,4 @@ def _run_op(state: ExecutionState, item: Item):
     finally:
         if request is not None:
             device.resource.release(request)
-    # Outputs are live before inputs can be released: the kernel's working
-    # set holds both (this is what makes big tiles tight on a 1 GB K420).
-    item.out_values = outputs
-    state.register_outputs(item, outputs)
-    for source in item.sources:
-        if source[0] is not FEED:
-            state.consume(source[0], source[1])
-    if state.trace and state.metadata is not None:
-        state.metadata.step_stats.append(
-            NodeStats(
-                device=item.device,
-                op_name=op.name,
-                op_type=op.type,
-                start=start,
-                end=env.now,
-                out_bytes=sum(value_nbytes(v) for v in outputs),
-            )
-        )
+    _finalize_op(state, item, outputs, start)

@@ -74,6 +74,13 @@ class SimQueue:
             return event
         return self._store.put(tuple(components))
 
+    def try_enqueue(self, components: Sequence[Any]) -> bool:
+        """Accept synchronously when there is room; False falls back to
+        the event-based :meth:`enqueue` (including all failure cases)."""
+        if self._closed or len(components) != self.num_components:
+            return False
+        return self._store.try_put(tuple(components))
+
     def dequeue(self):
         """Event that succeeds with a components tuple."""
         if self._closed and len(self._store) == 0 and self._store.put_queue_length == 0:
@@ -83,6 +90,11 @@ class SimQueue:
             )
             return event
         return self._store.get()
+
+    def try_dequeue(self):
+        """``(True, components)`` when an element is ready synchronously;
+        ``(False, None)`` falls back to the event-based :meth:`dequeue`."""
+        return self._store.try_get()
 
     def close(self, cancel_pending_enqueues: bool = False) -> None:
         self._closed = True

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["NodeStats", "TransferStats", "RunMetadata", "RunOptions"]
+__all__ = ["NodeStats", "PassStats", "TransferStats", "RunMetadata", "RunOptions"]
 
 
 @dataclass
@@ -64,6 +64,25 @@ class TransferStats:
 
 
 @dataclass
+class PassStats:
+    """Effect of one plan-time optimization pass (Grappler-style).
+
+    ``nodes_before``/``nodes_after`` count schedulable units (graph ops for
+    graph-level passes, plan items for plan-level passes); ``detail`` holds
+    per-pass counters such as folded/merged/spliced node counts.
+    """
+
+    name: str
+    nodes_before: int = 0
+    nodes_after: int = 0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def nodes_removed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+@dataclass
 class RunMetadata:
     """Everything recorded during one session run."""
 
@@ -71,6 +90,15 @@ class RunMetadata:
     transfers: list[TransferStats] = field(default_factory=list)
     start_time: float = 0.0
     end_time: float = 0.0
+    # Plan-time optimizer effects (one entry per pass that ran when the
+    # plan for this run was built; empty when optimization is disabled).
+    pass_stats: list[PassStats] = field(default_factory=list)
+    # Executor accounting: total schedulable items in the plan, how many
+    # were dispatched inline off the ready list (zero-cost fast path) and
+    # how many ran as full simulator processes.
+    plan_items: int = 0
+    fast_path_items: int = 0
+    process_items: int = 0
 
     @property
     def wall_time(self) -> float:
@@ -84,3 +112,7 @@ class RunMetadata:
 
     def busiest_ops(self, n: int = 10) -> list[NodeStats]:
         return sorted(self.step_stats, key=lambda s: s.duration, reverse=True)[:n]
+
+    def total_nodes_optimized(self) -> int:
+        """Schedulable units removed by all plan-time passes combined."""
+        return sum(p.nodes_removed for p in self.pass_stats)

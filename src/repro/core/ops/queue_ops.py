@@ -184,8 +184,11 @@ def _queue_op_host_work(ctx):
         return
     overhead = 2 * ctx.worker.node.cpu.model.dispatch_overhead
     gil = ctx.worker.gil
-    request = gil.request()
-    yield request
+    # Uncontended GIL: grab the slot synchronously (no calendar event).
+    request = gil.try_acquire()
+    if request is None:
+        request = gil.request()
+        yield request
     try:
         yield ctx.env.timeout(overhead)
     finally:
@@ -196,7 +199,8 @@ def _queue_op_host_work(ctx):
 def _enqueue_kernel(op, inputs, ctx):
     queue = _get_queue(op, ctx)
     yield from _queue_op_host_work(ctx)
-    yield queue.enqueue(list(inputs))
+    if not queue.try_enqueue(list(inputs)):
+        yield queue.enqueue(list(inputs))
     nbytes = sum(runtime_spec(v).nbytes for v in inputs)
     return [], Cost(mem_bytes=nbytes, kind="sync")
 
@@ -205,7 +209,9 @@ def _enqueue_kernel(op, inputs, ctx):
 def _dequeue_kernel(op, inputs, ctx):
     queue = _get_queue(op, ctx)
     yield from _queue_op_host_work(ctx)
-    components = yield queue.dequeue()
+    ready, components = queue.try_dequeue()
+    if not ready:
+        components = yield queue.dequeue()
     nbytes = sum(runtime_spec(v).nbytes for v in components)
     return list(components), Cost(mem_bytes=nbytes, kind="sync")
 

@@ -1,0 +1,140 @@
+"""Dead-op elimination: identity/NoOp chain collapsing and redundant
+control-edge pruning (Grappler's dependency optimizer).
+
+All rewrites here are value-preserving by construction: ``Identity`` is a
+pass-through, a ``NoOp``'s completion is exactly the completion of its
+control inputs, and a control edge implied by a data path adds no ordering
+constraint the data path does not already enforce.
+"""
+
+from __future__ import annotations
+
+from repro.core.metadata import PassStats
+from repro.core.optimizer.pipeline import Subgraph
+
+__all__ = [
+    "collapse_identities",
+    "splice_noops",
+    "prune_redundant_control_deps",
+]
+
+
+def collapse_identities(sg: Subgraph) -> PassStats:
+    """Forward each collapsible ``Identity`` to its input and drop the op.
+
+    An identity survives when it is fetched as an op, carries control
+    inputs (its completion orders other work), or is pinned to a device
+    other than its producer's (the documented "pin a copy onto a device"
+    idiom — collapsing it would silently delete a deliberate transfer).
+    """
+    before = len(sg.ops)
+    kept: list = []
+    collapsed = 0
+    for op in sg.ops:
+        if (
+            op.type != "Identity"
+            or op.name in sg.fetch_op_names
+            or op.control_inputs
+        ):
+            kept.append(op)
+            continue
+        src = op.inputs[0]
+        if op.device and op.device != src.op.device:
+            kept.append(op)
+            continue
+        sg.value_subs[op.outputs[0].name] = src
+        # Ops waiting on the identity via a control edge now wait on its
+        # producer (or on nothing if the edge was cut by a feed).
+        if src.name in sg.feeds:
+            sg.control_subs[op.name] = ()
+        else:
+            sg.control_subs[op.name] = (src.op,)
+        collapsed += 1
+    sg.ops = kept
+    return PassStats(
+        name="identity_collapse",
+        nodes_before=before,
+        nodes_after=len(sg.ops),
+        detail={"collapsed": collapsed},
+    )
+
+
+def splice_noops(sg: Subgraph) -> PassStats:
+    """Splice out non-fetched ``NoOp`` barriers.
+
+    ``group()`` builds trees of NoOps; any consumer waiting on an inner
+    NoOp can equivalently wait on that NoOp's own control inputs. Fetched
+    NoOps stay: the client awaits their completion by name.
+    """
+    before = len(sg.ops)
+    kept: list = []
+    spliced = 0
+    for op in sg.ops:  # topo order: upstream splices resolve transitively
+        if op.type != "NoOp" or op.name in sg.fetch_op_names or op.inputs:
+            kept.append(op)
+            continue
+        sg.control_subs[op.name] = tuple(sg.effective_control_deps(op))
+        spliced += 1
+    sg.ops = kept
+    return PassStats(
+        name="noop_splice",
+        nodes_before=before,
+        nodes_after=len(sg.ops),
+        detail={"spliced": spliced},
+    )
+
+
+def prune_redundant_control_deps(sg: Subgraph) -> PassStats:
+    """Drop control edges already implied by another dependency path.
+
+    Uses per-op ancestor bitsets over the surviving subgraph (runtime
+    edges: resolved value inputs plus effective control deps; folded roots
+    are sources). A control dep ``d`` of ``c`` is redundant when some other
+    predecessor of ``c`` transitively depends on ``d``.
+    """
+    index = {op.name: i for i, op in enumerate(sg.ops)}
+    reach: list[int] = [0] * len(sg.ops)
+    dropped_edges = 0
+    for op in sg.ops:
+        i = index[op.name]
+        preds: dict[str, int] = {}  # pred op name -> closure incl. itself
+        if op.name not in sg.folded:
+            for tensor in op.inputs:
+                if tensor.name in sg.feeds:
+                    continue
+                resolved = sg.resolve(tensor)
+                if resolved.name in sg.feeds:
+                    continue
+                name = resolved.op.name
+                j = index.get(name)
+                if j is not None:
+                    preds[name] = reach[j] | (1 << j)
+        ctrl = sg.effective_control_deps(op)
+        for dep in ctrl:
+            j = index.get(dep.name)
+            if j is not None:
+                preds[dep.name] = reach[j] | (1 << j)
+        drops: set[str] = set()
+        for dep in ctrl:
+            j = index.get(dep.name)
+            if j is None:
+                continue
+            bit = 1 << j
+            for other, closure in preds.items():
+                if other != dep.name and closure & bit:
+                    drops.add(dep.name)
+                    dropped_edges += 1
+                    break
+        if drops:
+            existing = sg.control_drops.get(op.name, frozenset())
+            sg.control_drops[op.name] = existing | frozenset(drops)
+        mask = 0
+        for closure in preds.values():
+            mask |= closure
+        reach[i] = mask
+    return PassStats(
+        name="dependency_pruning",
+        nodes_before=len(sg.ops),
+        nodes_after=len(sg.ops),
+        detail={"control_edges_dropped": dropped_edges},
+    )

@@ -1,0 +1,239 @@
+"""The pass pipeline run over the pruned subgraph before placement.
+
+This is the analog of TensorFlow's Grappler meta-optimizer (OSDI'16): after
+a session prunes the graph to the fetch-reachable subset, the pipeline
+rewrites that subset — collapsing identity/NoOp chains, merging common
+subexpressions, folding constant subtrees and dropping redundant control
+edges — and hands :func:`repro.core.partition.build_plan` a smaller,
+equivalent set of ops to schedule.
+
+Passes never mutate :class:`~repro.core.graph.Operation` objects (they are
+shared, immutable graph state). Instead they edit a :class:`Subgraph`
+working set: a surviving-op list plus substitution maps that the
+partitioner consults while routing values and control edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.graph import Graph, Operation
+from repro.core.metadata import PassStats
+from repro.core.tensor import Tensor
+
+__all__ = [
+    "OptimizerOptions",
+    "OptimizationResult",
+    "Subgraph",
+    "PURE_OPS",
+    "run_pipeline",
+]
+
+# Op types whose kernels are pure functions of their inputs and static
+# attributes: no resource-manager state, no RNG lanes, no queues, no I/O,
+# no simulation-time side effects. Only these may be folded or merged.
+PURE_OPS = frozenset({
+    "Const",
+    "Identity",
+    "Cast",
+    "Reshape",
+    "Transpose",
+    "Concat",
+    "Split",
+    "Stack",
+    "Squeeze",
+    "ExpandDims",
+    "Fill",
+    "ZerosLike",
+    "Slice",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Maximum",
+    "Minimum",
+    "Neg",
+    "Sqrt",
+    "Square",
+    "Sum",
+    "Mean",
+    "Max",
+    "Dot",
+    "MatMul",
+    "AddN",
+    "FFT",
+    "IFFT",
+})
+
+
+@dataclass
+class OptimizerOptions:
+    """Per-pass switches (threaded through ``SessionConfig.optimizer``)."""
+
+    dead_code: bool = True  # identity collapse + NoOp splicing + sweep
+    common_subexpression: bool = True
+    constant_folding: bool = True
+    dependency_pruning: bool = True  # drop control edges implied by data paths
+    transfer_coalescing: bool = True  # plan-level send/recv dedup
+    # Folding materializes values at plan time: cap the total static output
+    # bytes of any folded op so huge Fill/MatMul results never materialize.
+    max_folded_bytes: int = 1 << 20
+
+
+@dataclass
+class Subgraph:
+    """The pipeline's working set over one pruned fetch closure."""
+
+    graph: Graph
+    ops: list[Operation]  # survivors, topological (node_id) order
+    feeds: frozenset  # fed tensor names — edges already cut by pruning
+    fetch_op_names: frozenset
+    symbolic: bool  # session runs shape-only (affects folding only)
+    # The fetched Tensor objects themselves; passes needing fetched *names*
+    # must resolve through value_subs first (see constant_folding's roots).
+    fetch_tensors: tuple = ()
+    # tensor name -> replacement Tensor (identity collapse, CSE); chains
+    # are allowed while passes run and flattened in the final result.
+    value_subs: dict = field(default_factory=dict)
+    # op name -> replacement control deps (NoOp splice, CSE merge target).
+    control_subs: dict = field(default_factory=dict)
+    # op name -> frozenset of control-dep op names dropped as redundant.
+    control_drops: dict = field(default_factory=dict)
+    # op name -> evaluated output values (constant-folded roots).
+    folded: dict = field(default_factory=dict)
+
+    def resolve(self, tensor: Tensor) -> Tensor:
+        """Follow value substitutions to the canonical producing tensor."""
+        while tensor.name in self.value_subs:
+            tensor = self.value_subs[tensor.name]
+        return tensor
+
+    def effective_control_deps(self, op: Operation) -> list[Operation]:
+        """Control inputs after splices, merges and redundancy drops."""
+        dropped = self.control_drops.get(op.name, frozenset())
+        out: list[Operation] = []
+        seen: set[str] = set()
+        stack = list(reversed(op.control_inputs))
+        while stack:
+            dep = stack.pop()
+            if dep.name in dropped or dep.name in seen:
+                continue
+            replacement = self.control_subs.get(dep.name)
+            if replacement is not None:
+                seen.add(dep.name)
+                stack.extend(reversed(replacement))
+                continue
+            seen.add(dep.name)
+            out.append(dep)
+        return out
+
+
+@dataclass
+class OptimizationResult:
+    """Flattened rewrite maps consumed by ``build_plan``."""
+
+    ops: list[Operation]
+    value_subs: dict  # tensor name -> canonical Tensor (fully resolved)
+    control_deps: dict  # op name -> tuple of effective control-dep Operations
+    folded: dict  # op name -> list of evaluated output values
+    stats: list[PassStats]
+    transfer_coalescing: bool = True
+
+
+def _sweep_unreachable(sg: Subgraph) -> PassStats:
+    """Drop ops no longer reachable from the fetches via rewritten edges.
+
+    This is dead-op elimination *beyond* fetch-reachability: the session's
+    pruning already cut fetch-unreachable ops, but identity collapse, CSE
+    and folding orphan further nodes (a folded root has no runtime inputs,
+    so its constant subtree dies here).
+    """
+    before = len(sg.ops)
+    index = {op.name: op for op in sg.ops}
+    needed: set[str] = set()
+    stack: list[Operation] = []
+    for name in sg.fetch_op_names:
+        if name in index:
+            stack.append(index[name])
+    for tensor in sg.fetch_tensors:
+        if tensor.name in sg.feeds:
+            continue
+        resolved = sg.resolve(tensor)
+        if resolved.name not in sg.feeds and resolved.op.name in index:
+            stack.append(resolved.op)
+    while stack:
+        op = stack.pop()
+        if op.name in needed or op.name not in index:
+            continue
+        needed.add(op.name)
+        if op.name not in sg.folded:  # folded roots have no runtime inputs
+            for tensor in op.inputs:
+                if tensor.name in sg.feeds:
+                    continue
+                resolved = sg.resolve(tensor)
+                if resolved.name in sg.feeds:
+                    continue
+                if resolved.op.name not in needed:
+                    stack.append(resolved.op)
+        for dep in sg.effective_control_deps(op):
+            if dep.name not in needed:
+                stack.append(dep)
+    sg.ops = [op for op in sg.ops if op.name in needed]
+    return PassStats(
+        name="dead_code_sweep", nodes_before=before, nodes_after=len(sg.ops)
+    )
+
+
+def run_pipeline(
+    graph: Graph,
+    ordered: Sequence[Operation],
+    fetch_ops: Sequence[Operation],
+    fetch_tensors: Sequence[Tensor],
+    feeds: dict,
+    options: OptimizerOptions,
+    symbolic: bool = False,
+) -> OptimizationResult:
+    """Run all enabled passes over the pruned op set ``ordered``."""
+    from repro.core.optimizer import constant_folding, cse, dead_code
+
+    sg = Subgraph(
+        graph=graph,
+        ops=list(ordered),
+        feeds=frozenset(feeds),
+        fetch_op_names=frozenset(op.name for op in fetch_ops),
+        fetch_tensors=tuple(fetch_tensors),
+        symbolic=symbolic,
+    )
+    stats: list[PassStats] = []
+    if options.dead_code:
+        stats.append(dead_code.collapse_identities(sg))
+        stats.append(dead_code.splice_noops(sg))
+    if options.common_subexpression:
+        stats.append(cse.merge_common_subexpressions(sg))
+    if options.constant_folding:
+        stats.append(
+            constant_folding.fold_constants(sg, options.max_folded_bytes)
+        )
+    if options.dependency_pruning:
+        stats.append(dead_code.prune_redundant_control_deps(sg))
+    if options.dead_code:
+        stats.append(_sweep_unreachable(sg))
+
+    # Flatten substitution chains so the partitioner does one lookup.
+    flat_subs = {
+        name: sg.resolve(tensor) for name, tensor in sg.value_subs.items()
+    }
+    control_deps = {}
+    for op in sg.ops:
+        effective = sg.effective_control_deps(op)
+        if [d.name for d in effective] != [d.name for d in op.control_inputs]:
+            control_deps[op.name] = tuple(effective)
+    return OptimizationResult(
+        ops=sg.ops,
+        value_subs=flat_subs,
+        control_deps=control_deps,
+        folded=dict(sg.folded),
+        stats=stats,
+        transfer_coalescing=options.transfer_coalescing,
+    )

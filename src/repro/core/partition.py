@@ -4,13 +4,20 @@ Given fetches and feeds, the partitioner:
 
 1. prunes the graph to the ops reachable (backwards) from the fetches,
    cutting edges supplied through the feed dict;
-2. assigns every pruned op a fully-qualified device via the
-   :class:`~repro.core.placement.Placer`;
-3. splits the ops by device and inserts explicit ``_Send``/``_Recv`` item
+2. optionally runs the Grappler-style pass pipeline
+   (:mod:`repro.core.optimizer`) over the pruned set — identity/NoOp
+   collapsing, CSE, constant folding, redundant-dependency pruning;
+3. assigns every surviving op a fully-qualified device via the
+   :class:`~repro.core.placement.Placer` (constant-folded roots become
+   zero-cost ``const`` items on their placed device);
+4. splits the ops by device and inserts explicit ``_Send``/``_Recv`` item
    pairs on every cross-device edge (data *and* control), keyed for the
    run's rendezvous — TF's distributed-execution mechanism, and the place
-   where all network traffic in the paper's benchmarks originates;
-4. routes fetched tensors to the client device.
+   where all network traffic in the paper's benchmarks originates — then
+   coalesces duplicate transfers left after placement;
+5. routes fetched tensors to the client device and precomputes the
+   dependency graph (counts + dependents) the executor's
+   dependency-counting dispatcher consumes.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ class Item:
     """One schedulable unit on one device."""
 
     uid: int
-    kind: str  # "op" | "send" | "recv"
+    kind: str  # "op" | "send" | "recv" | "const"
     device: str
     op: Optional[Operation] = None
     # Value inputs: (producer Item, output index) or (FEED, tensor name).
@@ -46,8 +53,17 @@ class Item:
     key: Optional[str] = None
     dst_device: Optional[str] = None  # send only
     tensor_name: Optional[str] = None  # send/recv: which tensor moves
+    # Constant-folded output values ("const" items only).
+    const_values: Optional[list] = None
+    # Whether any surrounding tensor is double precision ("op" items;
+    # precomputed so the executor's cost conversion skips a tensor scan).
+    double_precision: bool = False
     # Per-output consumer counts (memory refcounting), filled by build_plan.
     consumer_counts: list = field(default_factory=list)
+    # Dependency graph (static per plan), filled by build_plan: number of
+    # distinct producer items, and the items waiting on this one.
+    num_deps: int = 0
+    dependents: list = field(default_factory=list)
     # Runtime state, owned by the executor.
     process: Any = None
     out_values: Optional[list] = None
@@ -67,6 +83,8 @@ class ExecutionPlan:
     fetch_sources: list
     devices_by_task: dict  # (job, task) -> set of device strings
     placements: dict  # op name -> device string
+    # Per-pass optimizer statistics recorded when the plan was built.
+    pass_stats: list = field(default_factory=list)
 
     @property
     def tasks(self) -> list:
@@ -97,8 +115,18 @@ def build_plan(
     placer: Placer,
     client_device: str,
     run_id: int,
+    optimizer_options=None,
+    symbolic: bool = False,
 ) -> ExecutionPlan:
-    """Construct the execution plan for one session run."""
+    """Construct the execution plan for one session run.
+
+    Args:
+        optimizer_options: an :class:`~repro.core.optimizer.OptimizerOptions`
+            enabling the Grappler-style pass pipeline; ``None`` (the
+            default) builds the plan with no rewriting.
+        symbolic: whether the session executes shape-only (constant folding
+            evaluates with the same flag so folded values match execution).
+    """
     # ---- 1. prune ---------------------------------------------------------
     needed: dict[str, Operation] = {}
     stack: list[Operation] = list(fetch_ops) + [
@@ -121,10 +149,35 @@ def build_plan(
     # exist before the op is created.
     ordered = sorted(needed.values(), key=lambda o: o.node_id)
 
-    # ---- 2. place ---------------------------------------------------------
+    # ---- 2. optimize -------------------------------------------------------
+    opt = None
+    pass_stats: list = []
+    if optimizer_options is not None:
+        from repro.core.optimizer import run_pipeline
+
+        opt = run_pipeline(
+            graph, ordered, fetch_ops, fetch_tensors, feeds,
+            optimizer_options, symbolic=symbolic,
+        )
+        ordered = opt.ops
+        pass_stats = list(opt.stats)
+
+    def resolve(tensor: Tensor) -> Tensor:
+        if opt is not None:
+            return opt.value_subs.get(tensor.name, tensor)
+        return tensor
+
+    def control_inputs_of(op: Operation):
+        if opt is not None:
+            deps = opt.control_deps.get(op.name)
+            if deps is not None:
+                return deps
+        return op.control_inputs
+
+    # ---- 3. place ---------------------------------------------------------
     placements = {op.name: placer.place(op) for op in ordered}
 
-    # ---- 3. items + send/recv insertion ------------------------------------
+    # ---- 4. items + send/recv insertion ------------------------------------
     items: list[Item] = []
     op_items: dict[str, Item] = {}
     # (tensor name, dst device) -> recv Item  (dedupe: one transfer feeds
@@ -140,6 +193,9 @@ def build_plan(
 
     def route_value(tensor: Tensor, dst_device: str):
         """Source ref delivering ``tensor`` onto ``dst_device``."""
+        if tensor.name in feeds:
+            return (FEED, tensor.name)
+        tensor = resolve(tensor)
         if tensor.name in feeds:
             return (FEED, tensor.name)
         producer = op_items[tensor.op.name]
@@ -161,10 +217,12 @@ def build_plan(
                 device=dst_device,
                 key=key,
                 tensor_name=tensor.name,
-                extra_deps=[],
+                # The rendezvous would match them anyway, but registering
+                # the send as an ordering edge keeps the dependency graph
+                # complete for the counting dispatcher and for deadlock
+                # diagnostics.
+                extra_deps=[send],
             )
-            # The recv does not *depend* on the send (rendezvous matches
-            # them), but registering the edge helps deadlock diagnostics.
             recv_cache[cache_key] = recv
         return (recv_cache[cache_key], 0)
 
@@ -178,7 +236,7 @@ def build_plan(
             key = make_key(
                 producer.device, dst_device, f"^{dep_op.name}", run_id
             )
-            new_item(
+            send = new_item(
                 kind="send",
                 device=producer.device,
                 sources=[],
@@ -192,18 +250,44 @@ def build_plan(
                 device=dst_device,
                 key=key,
                 tensor_name=f"^{dep_op.name}",
+                extra_deps=[send],
             )
             ctrl_cache[cache_key] = recv
         return ctrl_cache[cache_key]
 
+    folded = opt.folded if opt is not None else {}
     for op in ordered:
         device = placements[op.name]
+        if op.name in folded:
+            # Constant-folded root: materializes pre-evaluated outputs on
+            # its device at zero simulated cost; no runtime inputs.
+            item = new_item(
+                kind="const", device=device, op=op,
+                const_values=folded[op.name],
+            )
+            op_items[op.name] = item
+            continue
+        if opt is not None and op.type == "Const":
+            # Plain constants need no kernel dispatch either; as const
+            # items they become coalescable and complete inline.
+            item = new_item(
+                kind="const", device=device, op=op,
+                const_values=[op.get_attr("value")],
+            )
+            op_items[op.name] = item
+            item.extra_deps = [
+                route_control(dep, device) for dep in control_inputs_of(op)
+            ]
+            continue
         item = new_item(kind="op", device=device, op=op)
+        item.double_precision = _is_double_precision(op)
         op_items[op.name] = item
         item.sources = [route_value(t, device) for t in op.inputs]
-        item.extra_deps = [route_control(dep, device) for dep in op.control_inputs]
+        item.extra_deps = [
+            route_control(dep, device) for dep in control_inputs_of(op)
+        ]
 
-    # ---- 4. fetch routing ---------------------------------------------------
+    # ---- 5. fetch routing ---------------------------------------------------
     fetch_sources = []
     for tensor in fetch_tensors:
         if tensor.name in feeds:
@@ -211,9 +295,23 @@ def build_plan(
             continue
         fetch_sources.append(route_value(tensor, client_device))
 
+    # ---- 6. transfer coalescing ---------------------------------------------
+    if opt is not None and opt.transfer_coalescing:
+        from repro.core.optimizer.coalescing import coalesce_transfers
+
+        items, fetch_sources, coalesce_stats = coalesce_transfers(
+            items, fetch_sources
+        )
+        pass_stats.append(coalesce_stats)
+
     # ---- consumer counts (memory refcounting) -------------------------------
     for item in items:
-        n_out = len(item.op.outputs) if item.kind == "op" else 1
+        if item.kind == "op":
+            n_out = len(item.op.outputs)
+        elif item.kind == "const":
+            n_out = len(item.const_values)
+        else:
+            n_out = 1
         item.consumer_counts = [0] * n_out
     for item in items:
         for source in item.sources:
@@ -224,6 +322,23 @@ def build_plan(
         if source[0] is not FEED:
             producer, idx = source
             producer.consumer_counts[idx] += 1
+
+    # ---- dependency graph (static per plan) ---------------------------------
+    # The executor's dependency-counting dispatcher needs, per item, the
+    # number of distinct producers and the forward dependents list.
+    for item in items:
+        seen: set[int] = set()
+        for source in item.sources:
+            if source[0] is not FEED:
+                producer = source[0]
+                if producer.uid not in seen:
+                    seen.add(producer.uid)
+                    producer.dependents.append(item)
+        for dep in item.extra_deps:
+            if dep.uid not in seen:
+                seen.add(dep.uid)
+                dep.dependents.append(item)
+        item.num_deps = len(seen)
 
     # ---- group by device -----------------------------------------------------
     per_device: dict[str, list[Item]] = {}
@@ -239,7 +354,17 @@ def build_plan(
         fetch_sources=fetch_sources,
         devices_by_task=devices_by_task,
         placements=placements,
+        pass_stats=pass_stats,
     )
+
+
+def _is_double_precision(op) -> bool:
+    for tensor in (*op.outputs, *op.inputs):
+        if tensor.dtype.size >= 8 and (
+            tensor.dtype.is_floating or tensor.dtype.is_complex
+        ):
+            return True
+    return False
 
 
 def _job_task_of(device: str) -> tuple[str, int]:

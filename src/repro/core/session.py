@@ -19,6 +19,7 @@ concurrently inside one simulation (the paper's worker/reducer pattern).
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
@@ -27,6 +28,7 @@ import numpy as np
 from repro.core.executor import ExecutionState, launch_plan
 from repro.core.graph import Graph, Operation, get_default_graph
 from repro.core.metadata import RunMetadata, RunOptions
+from repro.core.optimizer import OptimizerOptions
 from repro.core.partition import FEED, _normalize_feeds, build_plan
 from repro.core.placement import Placer, canonical_device
 from repro.core.tensor import Tensor
@@ -34,7 +36,7 @@ from repro.errors import InvalidArgumentError, NotFoundError
 from repro.runtime.clusterspec import ClusterSpec
 from repro.runtime.rendezvous import Rendezvous
 from repro.runtime.server import Server, ServerConfig
-from repro.simnet.events import AllOf, Environment
+from repro.simnet.events import Environment
 from repro.simnet.gpu import GENERIC_GPU, GPUModel
 from repro.simnet.machines import Machine, localhost
 from repro.simnet.transports import protocol_latency
@@ -42,6 +44,11 @@ from repro.simnet.transports import protocol_latency
 __all__ = ["Session", "SessionConfig"]
 
 _RUN_IDS = itertools.count(1)
+
+# Bound on cached (fetches, feeds, graph-version) plans per session: long-
+# lived sessions issuing many distinct fetch combinations evict LRU-first
+# instead of growing without limit.
+_PLAN_CACHE_CAPACITY = 64
 
 
 @dataclass
@@ -56,6 +63,14 @@ class SessionConfig:
     # Local-session hardware (ignored when a target is given).
     num_gpus: int = 1
     gpu_model: GPUModel = GENERIC_GPU
+    # Plan-time graph optimization (Grappler-style pass pipeline). The
+    # master switch disables every pass; individual passes toggle through
+    # ``optimizer`` (see :class:`repro.core.optimizer.OptimizerOptions`).
+    graph_optimization: bool = True
+    optimizer: OptimizerOptions = field(default_factory=OptimizerOptions)
+    # Dependency-counting executor: dispatch zero-cost, non-blocking items
+    # inline instead of spawning a simulator process per plan item.
+    executor_fast_path: bool = True
 
 
 class Session:
@@ -109,9 +124,10 @@ class Session:
                 )
         self.env: Environment = self.machine.env
         # Plan cache: repeated runs of the same fetches/feeds on an
-        # unchanged graph reuse the pruned/partitioned plan (TF caches the
-        # same way: graphs are registered with workers once).
-        self._plan_cache: dict = {}
+        # unchanged graph reuse the pruned/optimized/partitioned plan (TF
+        # caches the same way: graphs are registered with workers once).
+        # LRU-bounded to _PLAN_CACHE_CAPACITY entries.
+        self._plan_cache: OrderedDict = OrderedDict()
         self._plans_in_flight: set[int] = set()
 
     # -- context management ----------------------------------------------------
@@ -152,7 +168,14 @@ class Session:
 
     # -- fetch handling -----------------------------------------------------------
     def _parse_fetches(self, fetches):
-        """Flatten fetches; returns (structure, fetch_ops, fetch_tensors)."""
+        """Flatten fetches.
+
+        Returns ``(structure, fetch_ops, fetch_tensors, slots)`` where
+        ``slots`` classifies every leaf *once* — ``("op",)`` or
+        ``("tensor", index into fetch_tensors)`` — and is the single
+        source of truth for reassembling run results (no second,
+        divergent classification pass).
+        """
         fetch_ops: list[Operation] = []
         fetch_tensors: list[Tensor] = []
         slots: list = []  # per leaf: ("op",) or ("tensor", index)
@@ -189,7 +212,7 @@ class Session:
         else:
             add_leaf(fetches)
             structure = ("single",)
-        return structure, fetch_ops, fetch_tensors
+        return structure, fetch_ops, fetch_tensors, slots
 
     # -- running -------------------------------------------------------------------
     def run(self, fetches, feed_dict=None, options: Optional[RunOptions] = None,
@@ -208,7 +231,7 @@ class Session:
             raise InvalidArgumentError("Session has been closed")
         env = self.env
         run_id = next(_RUN_IDS)
-        structure, fetch_ops, fetch_tensors = self._parse_fetches(fetches)
+        structure, fetch_ops, fetch_tensors, slots = self._parse_fetches(fetches)
         feeds = self._validate_feeds(_normalize_feeds(feed_dict))
         task_runtimes = self._task_runtimes()
         placer = self._placer(task_runtimes)
@@ -222,6 +245,8 @@ class Session:
             self.graph.version,
         )
         plan = self._plan_cache.get(cache_key)
+        if plan is not None:
+            self._plan_cache.move_to_end(cache_key)
         if plan is None or id(plan) in self._plans_in_flight:
             plan = build_plan(
                 self.graph,
@@ -231,8 +256,17 @@ class Session:
                 placer,
                 client_device,
                 run_id,
+                optimizer_options=(
+                    self.config.optimizer
+                    if self.config.graph_optimization
+                    else None
+                ),
+                symbolic=self.config.shape_only,
             )
             self._plan_cache[cache_key] = plan
+            self._plan_cache.move_to_end(cache_key)
+            while len(self._plan_cache) > _PLAN_CACHE_CAPACITY:
+                self._plan_cache.popitem(last=False)
         else:
             # Reset per-run state; rendezvous keys may repeat because every
             # run gets a fresh Rendezvous instance.
@@ -246,6 +280,8 @@ class Session:
         trace = bool(options and options.trace_level >= RunOptions.FULL_TRACE)
         metadata = run_metadata if run_metadata is not None else RunMetadata()
         metadata.start_time = env.now
+        metadata.pass_stats = list(plan.pass_stats)
+        metadata.plan_items = len(plan.items)
 
         # Administrative RPC: client -> master round trip, plus parallel
         # triggers to every remote participating task (gRPC always carries
@@ -274,12 +310,13 @@ class Session:
             graph_seed=self.graph.seed,
             metadata=metadata,
             trace=trace,
+            fast_path=self.config.executor_fast_path,
         )
         self._plans_in_flight.add(id(plan))
-        processes = launch_plan(state)
         try:
-            if processes:
-                yield AllOf(env, processes)
+            done = launch_plan(state)
+            if done is not None:
+                yield done
             values = []
             for source in plan.fetch_sources:
                 if source[0] is FEED:
@@ -296,12 +333,11 @@ class Session:
             if fetch_tensors:
                 return values[0]
             return None
-        # Preserve the original list order of mixed op/tensor fetches.
-        out = []
-        value_iter = iter(values)
-        for slot in self._iter_slots(fetches):
-            out.append(next(value_iter) if slot else None)
-        return out
+        # Preserve the original list order of mixed op/tensor fetches,
+        # reusing the slot classification from _parse_fetches.
+        return [
+            values[slot[1]] if slot[0] == "tensor" else None for slot in slots
+        ]
 
     def _validate_feeds(self, feeds: dict) -> dict:
         """Check every feed against the fed tensor's dtype and shape, and
@@ -329,18 +365,16 @@ class Session:
             validated[name] = value
         return validated
 
-    def _iter_slots(self, fetches):
-        from repro.core.ops.state_ops import Variable
+    def plan_cache_info(self) -> dict:
+        """Cached-plan statistics: ``{"plans": n, "items": total}``.
 
-        for item in fetches:
-            if isinstance(item, Operation):
-                yield False
-            elif isinstance(item, str) and ":" not in item:
-                yield False
-            elif isinstance(item, (Tensor, Variable)):
-                yield True
-            else:
-                yield True
+        ``items`` counts schedulable plan items across every cached plan —
+        the metric the optimizer benchmarks track across PRs.
+        """
+        return {
+            "plans": len(self._plan_cache),
+            "items": sum(len(p.items) for p in self._plan_cache.values()),
+        }
 
     def list_devices(self) -> list[str]:
         names = []

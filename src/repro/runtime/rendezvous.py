@@ -53,6 +53,17 @@ class Rendezvous:
             self._waiters.setdefault(key, []).append(event)
         return event
 
+    def recv_nowait(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` if ``key`` was already sent, else ``(False, None)``.
+
+        The synchronous flavour of :meth:`recv` for executors that already
+        know the producer completed: no event is allocated or scheduled.
+        """
+        if key in self._values:
+            self.recvs += 1
+            return True, self._values[key]
+        return False, None
+
     def pending_keys(self) -> list[str]:
         """Keys with waiting receivers (deadlock diagnostics)."""
         return sorted(self._waiters)

@@ -62,6 +62,24 @@ class Resource:
             self._waiters.append(req)
         return req
 
+    def try_acquire(self) -> Optional[Request]:
+        """Grant a slot immediately, or return ``None`` if all are taken.
+
+        Equivalent to :meth:`request` when a slot is free, but the
+        returned request is already processed — no calendar event is
+        scheduled, so callers on a synchronous fast path pay nothing.
+        ``release`` works on it as usual.
+        """
+        if len(self._users) >= self.capacity:
+            return None
+        req = Request(self)
+        req._ok = True
+        req._value = req
+        req._processed = True
+        req.callbacks = None  # processed: nothing can wait on it
+        self._users.add(req)
+        return req
+
     def release(self, request: Request) -> None:
         """Return a previously granted slot."""
         if request in self._users:
@@ -127,6 +145,29 @@ class Store:
         self._getters.append(event)
         self._dispatch()
         return event
+
+    def try_put(self, item: Any) -> bool:
+        """Accept ``item`` synchronously, or return False if it would wait.
+
+        FIFO-fair: refuses while earlier putters queue. Waiting getters
+        are served immediately, exactly as an event-based put would.
+        """
+        if self._putters or len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        self._dispatch()  # serve any blocked getters
+        return True
+
+    def try_get(self):
+        """``(True, item)`` if available synchronously, else ``(False, None)``.
+
+        FIFO-fair: refuses while earlier getters queue.
+        """
+        if self._getters or not self.items:
+            return False, None
+        item = self.items.popleft()
+        self._dispatch()  # accept any blocked putters into the free slot
+        return True, item
 
     def _dispatch(self) -> None:
         # Accept puts while there is room.

@@ -104,6 +104,11 @@ def transfer(src_device, dst_device, nbytes: int, protocol: str = "rdma") -> Ite
                                     latency_key="grpc", use_ip=True)
 
 
+def _all_hops(env: Environment, events: list):
+    """Wait-all over concurrent hops, skipping the AllOf for one hop."""
+    return events[0] if len(events) == 1 else AllOf(env, events)
+
+
 def _local_transfer(env: Environment, src, dst, nbytes: int) -> Iterator:
     """Same-node movement: PCIe staging and/or host memcpy."""
     events = []
@@ -115,7 +120,7 @@ def _local_transfer(env: Environment, src, dst, nbytes: int) -> Iterator:
         # Host-to-host copy within the node.
         yield env.timeout(nbytes / src.node.cpu.model.memcpy_rate)
         return
-    yield AllOf(env, events)
+    yield _all_hops(env, events)
 
 
 def _socket_hop(node, device, nbytes: int):
@@ -162,7 +167,7 @@ def _staged_transfer(env: Environment, src, dst, nbytes: int,
         hop = _socket_hop(src_node, src, nbytes)
         if hop is not None:
             events.append(hop)
-        yield AllOf(env, events)
+        yield _all_hops(env, events)
     # Phase 2: serialize into the wire format on the host CPU.
     serialize_rate = src_node.cpu.model.serialize_rate * serialize_derate
     yield env.timeout(nbytes / serialize_rate)
@@ -192,4 +197,4 @@ def _staged_transfer(env: Environment, src, dst, nbytes: int,
         hop = _socket_hop(dst_node, dst, nbytes)
         if hop is not None:
             events.append(hop)
-        yield AllOf(env, events)
+        yield _all_hops(env, events)
