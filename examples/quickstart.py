@@ -1,10 +1,20 @@
 #!/usr/bin/env python
-"""Quickstart — the paper's Listing 1, plus a look under the hood.
+"""Quickstart — the paper's Listing 1, both ways, plus a look under the hood.
 
 Two random matrices are generated on the (simulated) CPU and multiplied
-on the (simulated) GPU; the session returns a NumPy array. With tracing
-on, the run produces a Chrome-trace timeline like the paper's Fig. 3 —
-open ``quickstart_timeline.json`` in chrome://tracing or Perfetto.
+on the (simulated) GPU. The same computation is expressed twice:
+
+* **Session mode** — the TF-1.x deferred style the paper uses: build a
+  ``Graph``, run it with a ``Session`` (Listing 1 verbatim);
+* **``@repro.function``** — the imperative style the paper anticipates
+  ("eager execution ... will likely become the default execution mode"):
+  write a Python function, let the tracer turn it into the same graph,
+  and call it like a function.
+
+Both dispatch through the identical kernel registry, optimizer, plan
+cache and simulator. With tracing on, the traced run produces a
+Chrome-trace timeline like the paper's Fig. 3 — open
+``quickstart_timeline.json`` in chrome://tracing or Perfetto.
 
 Run:  python examples/quickstart.py
 """
@@ -16,7 +26,7 @@ from repro.core.timeline import Timeline
 
 
 def main() -> None:
-    # ---- Listing 1 --------------------------------------------------------
+    # ---- Listing 1, Session mode ------------------------------------------
     g = tf.Graph(seed=42)
     with g.as_default():
         with g.device("/cpu:0"):
@@ -27,19 +37,36 @@ def main() -> None:
 
     with tf.Session(graph=g) as sess:
         ret_c = sess.run(c)
-    print("c = a @ b on the simulated GPU:")
+    print("Session mode: c = a @ b on the simulated GPU:")
     print(ret_c)
 
-    # ---- the same run, traced --------------------------------------------
+    # ---- Listing 1, traced ------------------------------------------------
+    @tf.function(seed=42)
+    def listing1():
+        with tf.device("/cpu:0"):
+            a = tf.random_uniform(shape=[3, 3], dtype=tf.float32)
+            b = tf.random_uniform(shape=[3, 3], dtype=tf.float32)
+        with tf.device("/gpu:0"):
+            return tf.matmul(a, b)
+
+    print("\n@repro.function: the same graph, written imperatively:")
+    print(listing1())
+    listing1()
+    print(f"traces: {listing1.trace_count} (cached after the first call), "
+          f"plan cache: {listing1.session.plan_cache_info()}")
+
+    # ---- a traced run, traced (RunMetadata + timeline) --------------------
+    @tf.function(seed=7)
+    def big_matmul(x, y):
+        with tf.device("/gpu:0"):
+            return tf.matmul(x, y, name="big_matmul")
+
+    rng = np.random.default_rng(0)
+    big_a = rng.random((512, 512), dtype=np.float32)
+    big_b = rng.random((512, 512), dtype=np.float32)
     meta = tf.RunMetadata()
-    with tf.Session(graph=g) as sess:
-        bigger = tf.matmul(
-            tf.random_uniform([512, 512], graph=g, name="big_a"),
-            tf.random_uniform([512, 512], graph=g, name="big_b"),
-            name="big_matmul",
-        )
-        sess.run(bigger, options=tf.RunOptions(trace_level=1),
-                 run_metadata=meta)
+    big_matmul(big_a, big_b, options=tf.RunOptions(trace_level=1),
+               run_metadata=meta)
     print(f"\nSimulated wall time: {meta.wall_time * 1e3:.3f} ms")
     print("Busiest ops:")
     for stat in meta.busiest_ops(3):
@@ -54,6 +81,7 @@ def main() -> None:
     print("\nTimeline written to quickstart_timeline.json")
 
     # ---- variables and state ---------------------------------------------
+    # Session mode: explicit initializer, explicit run loop.
     g2 = tf.Graph()
     with g2.as_default():
         counter = tf.Variable(0.0, name="counter")
@@ -62,7 +90,20 @@ def main() -> None:
         sess.run(counter.initializer)
         for _ in range(5):
             sess.run(bump.op)
-        print(f"\ncounter after 5 increments: {sess.run(counter):g}")
+        print(f"\nSession-mode counter after 5 increments: "
+              f"{sess.run(counter):g}")
+
+    # Traced: the variable is created on the first trace, initialized
+    # lazily, and persists across calls in the function's session.
+    @tf.function
+    def bump_traced():
+        v = tf.Variable(0.0, name="counter")
+        return tf.assign_add(v, tf.constant(1.0))
+
+    for _ in range(4):
+        bump_traced()
+    print(f"traced counter after 5 increments: {bump_traced():g} "
+          f"(traces: {bump_traced.trace_count})")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ from repro.core.graph import (
     Graph,
     GraphKeys,
     Operation,
+    device,
     get_default_graph,
     reset_default_graph,
 )
@@ -56,6 +57,18 @@ from repro.dtypes import (
 from repro.runtime.clusterspec import ClusterSpec
 from repro.runtime.server import Server, ServerConfig
 
+# Imported last: the tracing frontend builds on ops + sessions. After this,
+# ``repro.function`` is the decorator (the submodule stays importable as a
+# module path, exactly like ``tf.function`` vs TF's internal modules).
+from repro.function import (
+    ConcreteFunction,
+    TensorSpec,
+    TracedFunction,
+    function,
+    functions_run_eagerly,
+    run_functions_eagerly,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -73,6 +86,13 @@ __all__ = [
     "ClusterSpec",
     "Server",
     "ServerConfig",
+    "ConcreteFunction",
+    "TensorSpec",
+    "TracedFunction",
+    "function",
+    "functions_run_eagerly",
+    "run_functions_eagerly",
+    "device",
     "get_default_graph",
     "reset_default_graph",
     "errors",

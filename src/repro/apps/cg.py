@@ -26,13 +26,25 @@ from typing import Optional
 import numpy as np
 
 import repro as tf
-from repro.apps.common import ClusterHandle, build_cluster, session_config
+from repro.apps.common import (
+    ClusterHandle,
+    build_cluster,
+    session_config,
+    task_device,
+)
 from repro.core.checkpoint import Saver
 from repro.core.tensor import SymbolicValue
 from repro.errors import InvalidArgumentError
 from repro.runtime.sync import QueueReducer
 
-__all__ = ["run_cg", "CGResult", "make_spd_problem"]
+__all__ = [
+    "run_cg",
+    "run_cg_single",
+    "cg_step",
+    "CGResult",
+    "CGSingleResult",
+    "make_spd_problem",
+]
 
 
 @dataclass
@@ -141,7 +153,7 @@ def run_cg(
                                     problem=problem)
 
     g = tf.Graph(seed=seed)
-    reducer_device = "/job:reducer/task:0/device:cpu:0"
+    reducer_device = task_device("reducer", 0, "cpu", 0)
     with g.as_default():
         pq_red = QueueReducer(num_gpus, dtype=tf.float64, device=reducer_device,
                               name="pq", graph=g)
@@ -167,7 +179,7 @@ def run_cg(
         setup_ops, step_ops, rs_fetches, savers = [], [], [], []
         x_vars = []
         for w in range(num_gpus):
-            dev = f"/job:worker/task:{w}/device:gpu:0"
+            dev = task_device("worker", w, "gpu", 0)
             with g.device(dev), g.name_scope(f"worker{w}"):
                 a_var = tf.Variable(
                     tf.zeros([rows, n], dtype=tf.float64, graph=g), name="A")
@@ -339,4 +351,133 @@ def run_cg(
         checkpoint_path=checkpoint_dir,
         solution=x if not shape_only else None,
         plan_items=plan_items,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-task CG: the same solver through both frontends
+# ---------------------------------------------------------------------------
+
+def cg_step(a, x, r, p, rs, device: str = ""):
+    """One CG iteration over full state, as pure dataflow ops.
+
+    The shared kernel of both frontends: traced by ``@repro.function``
+    (arguments become placeholders) and reused verbatim by the
+    hand-built graph-mode driver — byte-identical numerics and identical
+    simulated time by construction. ``device`` is static metadata: the
+    matvec and vector updates are pinned there, mirroring the
+    distributed solver's per-worker GPU placement.
+    """
+    with tf.device(device or None):
+        q = tf.matmul(a, p, name="q")
+        pq = tf.dot(p, q, name="pq")
+        alpha = tf.divide(rs, pq, name="alpha")
+        x_new = tf.add(x, tf.multiply(alpha, p), name="x_new")
+        r_new = tf.subtract(r, tf.multiply(alpha, q), name="r_new")
+        rs_new = tf.dot(r_new, r_new, name="rs_new")
+        beta = tf.divide(rs_new, rs, name="beta")
+        p_new = tf.add(r_new, tf.multiply(beta, p), name="p_new")
+    return x_new, r_new, p_new, rs_new
+
+
+@dataclass
+class CGSingleResult:
+    """Outcome of one single-task CG run (either frontend)."""
+
+    frontend: str
+    system: str
+    n: int
+    iterations: int
+    elapsed: float  # simulated seconds, iteration loop only
+    residual: float
+    solution: np.ndarray
+    trace_count: int = 0  # function frontend only
+    plan_cache: dict = None
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.elapsed / self.iterations
+
+
+def run_cg_single(
+    system: str = "localhost",
+    n: int = 64,
+    iterations: int = 25,
+    seed: int = 0,
+    frontend: str = "function",
+    problem=None,
+    optimize: Optional[bool] = None,
+) -> CGSingleResult:
+    """Solve ``A x = b`` on one simulated worker, via either frontend.
+
+    ``frontend="function"`` writes the solver imperatively: state lives
+    in NumPy on the client, and each iteration calls the
+    ``@repro.function``-traced :func:`cg_step` — traced once, then every
+    call dispatches through the cached ConcreteFunction and the
+    session's plan cache. ``frontend="graph"`` hand-builds the identical
+    step graph with explicit placeholders and drives ``Session.run`` in
+    a loop (the TF-1.x idiom). Both produce byte-identical values and
+    identical simulated time, which the tier-1 suite asserts.
+    """
+    if frontend not in ("function", "graph"):
+        raise InvalidArgumentError(
+            f"frontend must be 'function' or 'graph', got {frontend!r}"
+        )
+    if problem is not None:
+        a_full, b_full = problem
+        a_full = np.asarray(a_full, dtype=np.float64)
+        b_full = np.asarray(b_full, dtype=np.float64)
+    else:
+        a_full, b_full = make_spd_problem(n, seed)
+    handle = build_cluster(system, {"worker": 1})
+    server = handle.server("worker", 0)
+    device = task_device("worker", 0, "gpu", 0)
+    config = session_config(optimize=optimize)
+
+    x = np.zeros(n, dtype=np.float64)
+    r = b_full.copy()
+    p = b_full.copy()
+    rs = np.float64(r @ r)
+
+    env = handle.env
+    if frontend == "function":
+        step = tf.function(cg_step, name="cg_step", seed=seed, target=server,
+                           config=config)
+        start = env.now
+        for _ in range(iterations):
+            x, r, p, rs = step(a_full, x, r, p, rs, device)
+        elapsed = env.now - start
+        trace_count = step.trace_count
+        plan_cache = step.session.plan_cache_info()
+    else:
+        g = tf.Graph(seed=seed)
+        with g.as_default(), g.name_scope("cg_step"):
+            a_ph = tf.placeholder(tf.float64, shape=a_full.shape, name="a")
+            x_ph = tf.placeholder(tf.float64, shape=[n], name="x")
+            r_ph = tf.placeholder(tf.float64, shape=[n], name="r")
+            p_ph = tf.placeholder(tf.float64, shape=[n], name="p")
+            rs_ph = tf.placeholder(tf.float64, shape=[], name="rs")
+            outputs = cg_step(a_ph, x_ph, r_ph, p_ph, rs_ph, device)
+        sess = tf.Session(server, graph=g, config=config)
+        start = env.now
+        for _ in range(iterations):
+            x, r, p, rs = sess.run(
+                list(outputs),
+                feed_dict={a_ph: a_full, x_ph: x, r_ph: r, p_ph: p, rs_ph: rs},
+            )
+        elapsed = env.now - start
+        trace_count = 0
+        plan_cache = sess.plan_cache_info()
+
+    residual = float(np.linalg.norm(b_full - a_full @ x) / np.linalg.norm(b_full))
+    return CGSingleResult(
+        frontend=frontend,
+        system=system,
+        n=n,
+        iterations=iterations,
+        elapsed=elapsed,
+        residual=residual,
+        solution=x,
+        trace_count=trace_count,
+        plan_cache=plan_cache,
     )

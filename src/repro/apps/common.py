@@ -26,7 +26,19 @@ from repro.slurm.cluster_resolver import SlurmClusterResolver
 from repro.slurm.scontrol import Scontrol
 from repro.slurm.workload_manager import SlurmWorkloadManager
 
-__all__ = ["ClusterHandle", "build_cluster", "session_config", "SYSTEMS"]
+__all__ = [
+    "ClusterHandle",
+    "build_cluster",
+    "session_config",
+    "task_device",
+    "SYSTEMS",
+]
+
+
+def task_device(job: str, index: int, device_type: str = "gpu",
+                device_index: int = 0) -> str:
+    """Fully-qualified device string for one cluster task's device."""
+    return f"/job:{job}/task:{index}/device:{device_type}:{device_index}"
 
 
 def session_config(shape_only: bool = False, optimize: Optional[bool] = None):

@@ -60,6 +60,8 @@ class Saver:
             path = f"{path}-{global_step}"
         names = sorted(self._vars)
         values = sess.run([self._vars[n].value() for n in names])
+        if len(names) == 1:  # single-element fetch lists return bare values
+            values = [values]
         return self._write(path, names, values)
 
     def save_gen(self, sess, path: str, global_step: Optional[int] = None):
@@ -70,6 +72,8 @@ class Saver:
         values = yield from sess.run_gen(
             [self._vars[n].value() for n in names]
         )
+        if len(names) == 1:  # single-element fetch lists return bare values
+            values = [values]
         return self._write(path, names, values)
 
     def _write(self, path: str, names, values) -> str:

@@ -119,6 +119,8 @@ class DebugSession:
         user_fetches = [fetches] if single else list(fetches)
         combined.extend(user_fetches)
         values = self._session.run(combined, feed_dict=feed_dict, **kwargs)
+        if len(combined) == 1:  # single-element fetch lists return bare values
+            values = [values]
         watch_values = values[: len(watched)]
         user_values = values[len(watched):]
         for tensor, value in zip(watched, watch_values):

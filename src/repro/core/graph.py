@@ -24,6 +24,7 @@ __all__ = [
     "get_default_graph",
     "reset_default_graph",
     "GraphKeys",
+    "device",
 ]
 
 
@@ -340,6 +341,20 @@ def get_default_graph() -> Graph:
 def reset_default_graph() -> None:
     """Replace the global default graph with a fresh one."""
     _default_graph_stack.reset()
+
+
+def device(device_spec: Optional[str]):
+    """Pin ops created in this scope to ``device_spec``.
+
+    Module-level form of :meth:`Graph.device` targeting the *current*
+    default graph — inside a ``@repro.function`` trace that is the
+    function's graph, so imperative code annotates placement the same
+    way hand-built graph code does::
+
+        with repro.device("/job:worker/task:0/device:gpu:0"):
+            q = repro.matmul(a, p)
+    """
+    return get_default_graph().device(device_spec)
 
 
 def convert_to_tensor(value: Any, dtype=None, name: str = "Const", graph: Optional[Graph] = None) -> Tensor:

@@ -16,6 +16,7 @@ yielding events.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -29,6 +30,11 @@ __all__ = [
     "get_kernel",
     "has_kernel",
     "supported_device_types",
+    "registered_op_types",
+    "is_pure",
+    "is_stateful",
+    "is_graph_only",
+    "pure_op_types",
 ]
 
 
@@ -111,14 +117,39 @@ class KernelContext:
 
 _KERNELS: dict[str, Callable] = {}
 _DEVICE_SUPPORT: dict[str, tuple[str, ...]] = {}
+_PURE: set[str] = set()
+_STATEFUL: set[str] = set()
+_GRAPH_ONLY: set[str] = set()
 
 
-def register_kernel(op_type: str, devices: tuple[str, ...] = ("cpu", "gpu")):
+def register_kernel(
+    op_type: str,
+    devices: tuple[str, ...] = ("cpu", "gpu"),
+    *,
+    pure: bool = False,
+    stateful: bool = False,
+    graph_only: bool = False,
+):
     """Class/function decorator registering a kernel for ``op_type``.
 
     ``devices`` lists device types with an implementation; placement uses
     it for soft-placement decisions (ops with CPU-only kernels fall back to
     the host, mirroring TF soft device placement).
+
+    The remaining flags make the registry the single source of op
+    metadata, consumed across layers instead of per-module allowlists:
+
+    * ``pure`` — the kernel is a pure function of its inputs and static
+      attributes (no resources, RNG lanes, queues, I/O, or sim-time side
+      effects). Only pure ops may be constant-folded or CSE-merged by the
+      plan-time optimizer.
+    * ``stateful`` — executing the kernel mutates task state (variable
+      writes, queue traffic, file writes). The tracing frontend fetches
+      unconsumed stateful ops so traced side effects are not pruned.
+    * ``graph_only`` — the op only makes sense under a Session (it blocks
+      on simulated runtime events or manages runtime resources). Kernels
+      written as generators are graph-only implicitly; this flag marks the
+      non-generator stragglers (queue bookkeeping, iterators).
     """
 
     def wrap(fn: Callable) -> Callable:
@@ -126,6 +157,12 @@ def register_kernel(op_type: str, devices: tuple[str, ...] = ("cpu", "gpu")):
             raise UnimplementedError(f"Duplicate kernel registration: {op_type}")
         _KERNELS[op_type] = fn
         _DEVICE_SUPPORT[op_type] = tuple(devices)
+        if pure:
+            _PURE.add(op_type)
+        if stateful:
+            _STATEFUL.add(op_type)
+        if graph_only or inspect.isgeneratorfunction(fn):
+            _GRAPH_ONLY.add(op_type)
         return fn
 
     return wrap
@@ -144,3 +181,27 @@ def has_kernel(op_type: str) -> bool:
 
 def supported_device_types(op_type: str) -> tuple[str, ...]:
     return _DEVICE_SUPPORT.get(op_type, ("cpu", "gpu"))
+
+
+def registered_op_types() -> tuple[str, ...]:
+    """Every op type with a kernel, sorted (drives coverage sweeps)."""
+    return tuple(sorted(_KERNELS))
+
+
+def is_pure(op_type: str) -> bool:
+    """Whether the op is a pure function of inputs + static attributes."""
+    return op_type in _PURE
+
+
+def is_stateful(op_type: str) -> bool:
+    """Whether executing the op mutates task-owned runtime state."""
+    return op_type in _STATEFUL
+
+
+def is_graph_only(op_type: str) -> bool:
+    """Whether the op requires a Session (blocks on the simulated runtime)."""
+    return op_type in _GRAPH_ONLY
+
+
+def pure_op_types() -> frozenset[str]:
+    return frozenset(_PURE)

@@ -99,6 +99,16 @@ class RunMetadata:
     plan_items: int = 0
     fast_path_items: int = 0
     process_items: int = 0
+    # Frontend cache accounting. ``plan_cache_hit`` says whether *this*
+    # run reused a cached execution plan; the ``*_hits``/``*_misses``
+    # pairs are the owning session's / traced function's cumulative
+    # counters at the time of the run, so callers can watch cache
+    # behaviour without reaching into Session.plan_cache_info().
+    plan_cache_hit: bool = False
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
 
     @property
     def wall_time(self) -> float:

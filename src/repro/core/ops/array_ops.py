@@ -372,7 +372,7 @@ def _memcpy_cost(*values) -> Cost:
     return Cost(mem_bytes=nbytes, kind="memcpy")
 
 
-@register_kernel("Const")
+@register_kernel("Const", pure=True)
 def _const_kernel(op, inputs, ctx):
     value = op.get_attr("value")
     return [value], Cost.none()
@@ -397,12 +397,12 @@ def _placeholder_kernel(op, inputs, ctx):
     return [value], Cost.none()
 
 
-@register_kernel("Identity")
+@register_kernel("Identity", pure=True)
 def _identity_kernel(op, inputs, ctx):
     return [inputs[0]], Cost.none()
 
 
-@register_kernel("Cast")
+@register_kernel("Cast", pure=True)
 def _cast_kernel(op, inputs, ctx):
     target = dtypes.as_dtype(op.get_attr("dst_dtype"))
     (x,) = inputs
@@ -413,7 +413,7 @@ def _cast_kernel(op, inputs, ctx):
     return [out], _memcpy_cost(x, out)
 
 
-@register_kernel("Reshape")
+@register_kernel("Reshape", pure=True)
 def _reshape_kernel(op, inputs, ctx):
     (x,) = inputs
     new_shape = op.get_attr("shape")
@@ -428,7 +428,7 @@ def _reshape_kernel(op, inputs, ctx):
     return [np.reshape(x, new_shape)], Cost.none()
 
 
-@register_kernel("Transpose")
+@register_kernel("Transpose", pure=True)
 def _transpose_kernel(op, inputs, ctx):
     (x,) = inputs
     perm = op.get_attr("perm")
@@ -439,7 +439,7 @@ def _transpose_kernel(op, inputs, ctx):
     return [out], _memcpy_cost(x, out)
 
 
-@register_kernel("Concat")
+@register_kernel("Concat", pure=True)
 def _concat_kernel(op, inputs, ctx):
     axis = op.get_attr("axis")
     if any_symbolic(inputs):
@@ -454,7 +454,7 @@ def _concat_kernel(op, inputs, ctx):
     return [out], _memcpy_cost(*inputs)
 
 
-@register_kernel("Split")
+@register_kernel("Split", pure=True)
 def _split_kernel(op, inputs, ctx):
     (x,) = inputs
     axis = op.get_attr("axis")
@@ -469,7 +469,7 @@ def _split_kernel(op, inputs, ctx):
     return outs, _memcpy_cost(x)
 
 
-@register_kernel("Stack")
+@register_kernel("Stack", pure=True)
 def _stack_kernel(op, inputs, ctx):
     axis = op.get_attr("axis")
     if any_symbolic(inputs):
@@ -483,7 +483,7 @@ def _stack_kernel(op, inputs, ctx):
     return [out], _memcpy_cost(*inputs)
 
 
-@register_kernel("Squeeze")
+@register_kernel("Squeeze", pure=True)
 def _squeeze_kernel(op, inputs, ctx):
     (x,) = inputs
     axis = op.get_attr("axis")
@@ -499,7 +499,7 @@ def _squeeze_kernel(op, inputs, ctx):
     return [out], Cost.none()
 
 
-@register_kernel("ExpandDims")
+@register_kernel("ExpandDims", pure=True)
 def _expand_dims_kernel(op, inputs, ctx):
     (x,) = inputs
     axis = op.get_attr("axis")
@@ -513,7 +513,7 @@ def _expand_dims_kernel(op, inputs, ctx):
     return [out], Cost.none()
 
 
-@register_kernel("Fill")
+@register_kernel("Fill", pure=True)
 def _fill_kernel(op, inputs, ctx):
     shape = op.get_attr("shape")
     value = op.get_attr("fill_value")
@@ -525,7 +525,7 @@ def _fill_kernel(op, inputs, ctx):
     return [out], Cost(mem_bytes=runtime_spec(out).nbytes, kind="memcpy")
 
 
-@register_kernel("ZerosLike")
+@register_kernel("ZerosLike", pure=True)
 def _zeros_like_kernel(op, inputs, ctx):
     (x,) = inputs
     if isinstance(x, SymbolicValue):
@@ -535,7 +535,7 @@ def _zeros_like_kernel(op, inputs, ctx):
     return [out], Cost(mem_bytes=runtime_spec(out).nbytes, kind="memcpy")
 
 
-@register_kernel("Slice")
+@register_kernel("Slice", pure=True)
 def _slice_kernel(op, inputs, ctx):
     (x,) = inputs
     begin = op.get_attr("begin")

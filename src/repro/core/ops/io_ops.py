@@ -83,7 +83,7 @@ def _read_tile_kernel(op, inputs, ctx):
     return [value], Cost(io_bytes=nbytes, kind="io")
 
 
-@register_kernel("WriteTile", devices=("cpu",))
+@register_kernel("WriteTile", devices=("cpu",), stateful=True)
 def _write_tile_kernel(op, inputs, ctx):
     fs = ctx.filesystem()
     if fs is None:

@@ -263,12 +263,12 @@ def _binary_kernel(np_fn, flops_per_element: float = 1.0):
     return kernel
 
 
-register_kernel("Add")(_binary_kernel(np.add))
-register_kernel("Sub")(_binary_kernel(np.subtract))
-register_kernel("Mul")(_binary_kernel(np.multiply))
-register_kernel("Div")(_binary_kernel(np.divide))
-register_kernel("Maximum")(_binary_kernel(np.maximum))
-register_kernel("Minimum")(_binary_kernel(np.minimum))
+register_kernel("Add", pure=True)(_binary_kernel(np.add))
+register_kernel("Sub", pure=True)(_binary_kernel(np.subtract))
+register_kernel("Mul", pure=True)(_binary_kernel(np.multiply))
+register_kernel("Div", pure=True)(_binary_kernel(np.divide))
+register_kernel("Maximum", pure=True)(_binary_kernel(np.maximum))
+register_kernel("Minimum", pure=True)(_binary_kernel(np.minimum))
 
 
 def _unary_kernel(np_fn, flops_per_element: float = 1.0):
@@ -284,12 +284,12 @@ def _unary_kernel(np_fn, flops_per_element: float = 1.0):
     return kernel
 
 
-register_kernel("Neg")(_unary_kernel(np.negative))
-register_kernel("Square")(_unary_kernel(np.square))
-register_kernel("Sqrt")(_unary_kernel(np.sqrt, flops_per_element=4.0))
+register_kernel("Neg", pure=True)(_unary_kernel(np.negative))
+register_kernel("Square", pure=True)(_unary_kernel(np.square))
+register_kernel("Sqrt", pure=True)(_unary_kernel(np.sqrt, flops_per_element=4.0))
 
 
-@register_kernel("MatMul")
+@register_kernel("MatMul", pure=True)
 def _matmul_kernel(op, inputs, ctx):
     a, b = inputs
     ta = op.get_attr("transpose_a", False)
@@ -316,7 +316,7 @@ def _matmul_kernel(op, inputs, ctx):
     return [am @ bm], cost
 
 
-@register_kernel("Dot")
+@register_kernel("Dot", pure=True)
 def _dot_kernel(op, inputs, ctx):
     a, b = inputs
     n = runtime_spec(a).size
@@ -332,7 +332,7 @@ def _dot_kernel(op, inputs, ctx):
     return [np.asarray(np.dot(np.asarray(a), np.asarray(b)))], cost
 
 
-@register_kernel("AddN")
+@register_kernel("AddN", pure=True)
 def _add_n_kernel(op, inputs, ctx):
     out_spec = elementwise_spec(inputs, dtype=op.outputs[0].dtype)
     cost = Cost(
@@ -373,6 +373,6 @@ def _reduce_kernel(np_fn, extra_flops: float = 1.0):
     return kernel
 
 
-register_kernel("Sum")(_reduce_kernel(np.sum))
-register_kernel("Mean")(_reduce_kernel(np.mean, extra_flops=1.0))
-register_kernel("Max")(_reduce_kernel(np.max))
+register_kernel("Sum", pure=True)(_reduce_kernel(np.sum))
+register_kernel("Mean", pure=True)(_reduce_kernel(np.mean, extra_flops=1.0))
+register_kernel("Max", pure=True)(_reduce_kernel(np.max))

@@ -87,7 +87,7 @@ def _random_cost(op) -> Cost:
     return Cost(flops=10.0 * n, mem_bytes=n * esize, kind="compute")
 
 
-@register_kernel("RandomUniform")
+@register_kernel("RandomUniform", stateful=True)
 def _random_uniform_kernel(op, inputs, ctx):
     cost = _random_cost(op)
     shape = op.get_attr("shape")
@@ -101,7 +101,7 @@ def _random_uniform_kernel(op, inputs, ctx):
     return [out.astype(dtype.np_dtype)], cost
 
 
-@register_kernel("RandomNormal")
+@register_kernel("RandomNormal", stateful=True)
 def _random_normal_kernel(op, inputs, ctx):
     cost = _random_cost(op)
     shape = op.get_attr("shape")

@@ -52,7 +52,7 @@ def _fft_cost(spec: SymbolicValue) -> Cost:
     return Cost(flops=flops, mem_bytes=2 * spec.nbytes, kind="compute")
 
 
-@register_kernel("FFT")
+@register_kernel("FFT", pure=True)
 def _fft_kernel(op, inputs, ctx):
     (x,) = inputs
     spec = runtime_spec(x)
@@ -63,7 +63,7 @@ def _fft_kernel(op, inputs, ctx):
     return [out], cost
 
 
-@register_kernel("IFFT")
+@register_kernel("IFFT", pure=True)
 def _ifft_kernel(op, inputs, ctx):
     (x,) = inputs
     spec = runtime_spec(x)

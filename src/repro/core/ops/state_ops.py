@@ -196,7 +196,7 @@ def _variable_kernel(op, inputs, ctx):
     return [value], Cost.none()
 
 
-@register_kernel("Assign")
+@register_kernel("Assign", stateful=True)
 def _assign_kernel(op, inputs, ctx):
     (value,) = inputs
     var_name = op.get_attr("var_name")
@@ -232,5 +232,5 @@ def _accumulate_kernel(np_op):
     return kernel
 
 
-register_kernel("AssignAdd")(_accumulate_kernel(np.add))
-register_kernel("AssignSub")(_accumulate_kernel(np.subtract))
+register_kernel("AssignAdd", stateful=True)(_accumulate_kernel(np.add))
+register_kernel("AssignSub", stateful=True)(_accumulate_kernel(np.subtract))

@@ -129,6 +129,8 @@ class Session:
         # LRU-bounded to _PLAN_CACHE_CAPACITY entries.
         self._plan_cache: OrderedDict = OrderedDict()
         self._plans_in_flight: set[int] = set()
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
 
     # -- context management ----------------------------------------------------
     def __enter__(self) -> "Session":
@@ -205,19 +207,36 @@ class Session:
                     f"Cannot fetch object of type {type(item).__name__}: {item!r}"
                 )
 
-        if isinstance(fetches, (list, tuple)):
+        if isinstance(fetches, (list, tuple)) and len(fetches) != 1:
             for item in fetches:
                 add_leaf(item)
             structure = ("list", len(fetches))
         else:
+            # A single-element list behaves identically to a bare fetch
+            # (callers unpacking generated fetch lists of any length get
+            # uniform semantics either way).
+            if isinstance(fetches, (list, tuple)):
+                (fetches,) = fetches
             add_leaf(fetches)
             structure = ("single",)
         return structure, fetch_ops, fetch_tensors, slots
 
     # -- running -------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            # A RuntimeError (not a graph-validation error): the failure is
+            # in how the Session object is being used, and raising here —
+            # before any simulator process spins up — keeps the traceback
+            # pointed at the offending run() call.
+            raise RuntimeError(
+                "Attempted to use a closed Session. Sessions cannot run "
+                "after close(); create a new Session instead."
+            )
+
     def run(self, fetches, feed_dict=None, options: Optional[RunOptions] = None,
             run_metadata: Optional[RunMetadata] = None):
         """Execute the graph; blocks until the simulated run completes."""
+        self._check_open()
         proc = self.env.process(
             self.run_gen(fetches, feed_dict, options, run_metadata),
             name="session.run",
@@ -227,8 +246,13 @@ class Session:
     def run_gen(self, fetches, feed_dict=None, options: Optional[RunOptions] = None,
                 run_metadata: Optional[RunMetadata] = None):
         """Coroutine version of :meth:`run` for concurrent sim processes."""
-        if self._closed:
-            raise InvalidArgumentError("Session has been closed")
+        # Non-generator wrapper so misuse (closed session) raises at the
+        # call site rather than when the simulator first advances the
+        # returned coroutine.
+        self._check_open()
+        return self._run_gen(fetches, feed_dict, options, run_metadata)
+
+    def _run_gen(self, fetches, feed_dict, options, run_metadata):
         env = self.env
         run_id = next(_RUN_IDS)
         structure, fetch_ops, fetch_tensors, slots = self._parse_fetches(fetches)
@@ -247,7 +271,12 @@ class Session:
         plan = self._plan_cache.get(cache_key)
         if plan is not None:
             self._plan_cache.move_to_end(cache_key)
-        if plan is None or id(plan) in self._plans_in_flight:
+        plan_cache_hit = plan is not None and id(plan) not in self._plans_in_flight
+        if plan_cache_hit:
+            self._plan_cache_hits += 1
+        else:
+            self._plan_cache_misses += 1
+        if not plan_cache_hit:
             plan = build_plan(
                 self.graph,
                 fetch_ops,
@@ -282,6 +311,9 @@ class Session:
         metadata.start_time = env.now
         metadata.pass_stats = list(plan.pass_stats)
         metadata.plan_items = len(plan.items)
+        metadata.plan_cache_hit = plan_cache_hit
+        metadata.plan_cache_hits = self._plan_cache_hits
+        metadata.plan_cache_misses = self._plan_cache_misses
 
         # Administrative RPC: client -> master round trip, plus parallel
         # triggers to every remote participating task (gRPC always carries
@@ -366,14 +398,18 @@ class Session:
         return validated
 
     def plan_cache_info(self) -> dict:
-        """Cached-plan statistics: ``{"plans": n, "items": total}``.
+        """Cached-plan statistics.
 
         ``items`` counts schedulable plan items across every cached plan —
-        the metric the optimizer benchmarks track across PRs.
+        the metric the optimizer benchmarks track across PRs. ``hits`` /
+        ``misses`` are cumulative per-run lookup counters (also surfaced
+        per run through :class:`~repro.core.metadata.RunMetadata`).
         """
         return {
             "plans": len(self._plan_cache),
             "items": sum(len(p.items) for p in self._plan_cache.values()),
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
         }
 
     def list_devices(self) -> list[str]:

@@ -1,0 +1,46 @@
+"""``@repro.function`` — the trace-to-graph frontend unifying eager and
+Session modes.
+
+The paper (§II) anticipates eager execution becoming TensorFlow's
+default mode; TF2's answer is ``tf.function``: write imperative Python
+once, trace it into the white-paper dataflow core, and run it through
+the full graph runtime. This package is that bridge for ``repro``:
+
+    import repro as tf
+
+    @tf.function
+    def step(a, p):
+        with tf.device("/gpu:0"):
+            return tf.matmul(a, p)
+
+    q = step(a_np, p_np)        # traced once, then Session-dispatched
+
+Arguments become placeholders, device scopes annotate placement, and
+each input signature (dtype + static shape) is traced exactly once —
+repeat calls hit the ConcreteFunction cache and, below it, the
+Session's plan cache, so graph optimization, cost-accounted simulation,
+RunMetadata tracing and distributed placement all apply to imperative
+code. Calls made *during* another trace (or with symbolic tensors while
+hand-building a graph) inline the Python body instead of nesting a
+Session; ``run_functions_eagerly(True)`` flips every traced function to
+immediate kernel-registry execution for debugging.
+"""
+
+from repro.function.concrete import (
+    ConcreteFunction,
+    TracedFunction,
+    function,
+    functions_run_eagerly,
+    run_functions_eagerly,
+)
+from repro.function.tracing import TensorSpec, is_tracing
+
+__all__ = [
+    "ConcreteFunction",
+    "TensorSpec",
+    "TracedFunction",
+    "function",
+    "functions_run_eagerly",
+    "is_tracing",
+    "run_functions_eagerly",
+]

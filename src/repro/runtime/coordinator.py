@@ -93,7 +93,10 @@ class QueueRunner:
                 if remaining[0] == 0:
                     # Last producer out closes the queue.
                     yield from sess.run_gen(self._get_close_op())
-            except ReproError as exc:
+            except (ReproError, RuntimeError) as exc:
+                # RuntimeError covers session misuse (e.g. run after
+                # close()); either way the coordinator must stop sibling
+                # runners instead of leaving them blocked on dequeues.
                 coord.stop_on_exception(exc)
                 raise
 

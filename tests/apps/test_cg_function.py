@@ -1,0 +1,52 @@
+"""The CG app through the ``@repro.function`` frontend (PR-2 scenario).
+
+Acceptance: a traced CG step re-invoked with same-shape inputs hits the
+ConcreteFunction cache (trace count stays 1), re-traces on a new shape,
+and produces values byte-identical to the hand-built graph-mode driver
+with identical simulated time.
+"""
+
+import numpy as np
+
+import repro as tf
+from repro.apps.cg import cg_step, make_spd_problem, run_cg_single
+
+
+class TestTracedCG:
+    def test_frontends_byte_identical_and_time_identical(self):
+        fn = run_cg_single(n=32, iterations=12, frontend="function", seed=3)
+        gr = run_cg_single(n=32, iterations=12, frontend="graph", seed=3)
+        np.testing.assert_array_equal(fn.solution, gr.solution)
+        assert fn.elapsed == gr.elapsed
+        assert fn.residual == gr.residual
+        # One trace serves the whole iteration loop; below it, the plan
+        # cache serves every run after the first.
+        assert fn.trace_count == 1
+        assert fn.plan_cache["hits"] == 11
+        assert fn.plan_cache["misses"] == 1
+
+    def test_traced_step_caches_and_retraces(self):
+        step = tf.function(cg_step, name="cg_step")
+        for n in (16, 24):
+            a, b = make_spd_problem(n, seed=1)
+            x = np.zeros(n)
+            r = b.copy()
+            p = b.copy()
+            rs = np.float64(r @ r)
+            for _ in range(4):
+                x, r, p, rs = step(a, x, r, p, rs)
+        # One trace per shape, not per call.
+        assert step.trace_count == 2
+        assert step.cache_info()["hits"] == 6
+
+    def test_traced_solver_converges(self):
+        res = run_cg_single(n=48, iterations=48, frontend="function", seed=5)
+        assert res.residual < 1e-10
+        assert res.elapsed > 0
+        assert res.seconds_per_iteration > 0
+
+    def test_explicit_problem_accepted(self):
+        a, b = make_spd_problem(24, seed=9)
+        res = run_cg_single(n=24, iterations=24, frontend="function",
+                            problem=(a, b))
+        np.testing.assert_allclose(a @ res.solution, b, atol=1e-8)

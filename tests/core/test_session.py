@@ -71,8 +71,23 @@ class TestFetches:
             c = tf.constant(1.0)
         sess = tf.Session(graph=g)
         sess.close()
-        with pytest.raises(InvalidArgumentError):
+        with pytest.raises(RuntimeError, match="closed Session"):
             sess.run(c)
+        with pytest.raises(RuntimeError, match="closed Session"):
+            sess.run_gen(c)
+
+    def test_single_element_list_matches_bare_fetch(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.constant(3.0)
+            v = tf.Variable(1.0, name="v")
+        with tf.Session(graph=g) as sess:
+            bare = sess.run(c)
+            listed = sess.run([c])
+            assert listed == pytest.approx(bare)
+            assert not isinstance(listed, list)
+            # An op fetch in a single-element list also matches the bare form.
+            assert sess.run([v.initializer]) is None
 
 
 class TestFeeds:
@@ -213,6 +228,22 @@ class TestRunMetadata:
         meta = RunMetadata()
         sess.run(c, run_metadata=meta)
         assert not meta.step_stats
+
+    def test_plan_cache_counters_exposed(self):
+        g = tf.Graph()
+        with g.as_default():
+            c = tf.random_uniform([8])
+        with tf.Session(graph=g) as sess:
+            first = RunMetadata()
+            sess.run(c, run_metadata=first)
+            assert first.plan_cache_hit is False
+            assert (first.plan_cache_hits, first.plan_cache_misses) == (0, 1)
+            second = RunMetadata()
+            sess.run(c, run_metadata=second)
+            assert second.plan_cache_hit is True
+            assert (second.plan_cache_hits, second.plan_cache_misses) == (1, 1)
+            info = sess.plan_cache_info()
+            assert info["hits"] == 1 and info["misses"] == 1
 
     def test_sim_time_advances_monotonically(self):
         g = tf.Graph()
