@@ -19,12 +19,29 @@ import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_optimizer.json")
+BENCH_COLLECTIVES_JSON = os.path.join(RESULTS_DIR, "BENCH_collectives.json")
 
 
 @pytest.fixture(scope="session")
 def results_dir():
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return RESULTS_DIR
+
+
+def _flush_records(path: str, records: dict) -> None:
+    """Merge ``records`` into the JSON at ``path`` (see _bench_records)."""
+    if not records:
+        return
+    merged: dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")
@@ -49,18 +66,7 @@ def _bench_records(results_dir):
     """
     records: dict = {}
     yield records
-    if not records:
-        return
-    merged: dict = {}
-    try:
-        with open(BENCH_JSON, "r", encoding="utf-8") as handle:
-            merged = json.load(handle)
-    except (OSError, ValueError):
-        merged = {}
-    merged.update(records)
-    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
-        json.dump(merged, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    _flush_records(BENCH_JSON, records)
 
 
 @pytest.fixture
@@ -74,5 +80,24 @@ def record_bench(_bench_records):
 
     def record(name: str, **fields) -> None:
         _bench_records[name] = fields
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def _collective_bench_records(results_dir):
+    """Accumulator for the collectives lane (BENCH_collectives.json)."""
+    records: dict = {}
+    yield records
+    _flush_records(BENCH_COLLECTIVES_JSON, records)
+
+
+@pytest.fixture
+def record_collective_bench(_collective_bench_records):
+    """Like ``record_bench``, flushed to ``BENCH_collectives.json`` —
+    the allreduce-vs-reducer and stencil trajectory tracked across PRs."""
+
+    def record(name: str, **fields) -> None:
+        _collective_bench_records[name] = fields
 
     return record

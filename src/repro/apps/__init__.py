@@ -11,6 +11,7 @@ from repro.apps.cg import CGResult, run_cg
 from repro.apps.common import ClusterHandle, build_cluster
 from repro.apps.fft import FFTResult, run_fft
 from repro.apps.matmul import MatmulResult, run_matmul
+from repro.apps.stencil import StencilResult, run_stencil
 from repro.apps.stream import StreamResult, run_stream
 
 __all__ = [
@@ -24,4 +25,6 @@ __all__ = [
     "CGResult",
     "run_fft",
     "FFTResult",
+    "run_stencil",
+    "StencilResult",
 ]

@@ -92,6 +92,27 @@ class _Allocation:
     freed: bool = False
 
 
+class _CollectiveGroup:
+    """Per-run rendezvous of one lowered collective op's rank legs.
+
+    Every leg deposits its device and (for data-carrying ranks) its input
+    value; the last leg to arrive drives the shared ring schedule over
+    the simulated transports and publishes the per-rank results through
+    ``done``. Legs block on ``done`` without holding a device slot, so a
+    straggling producer on a peer rank can never deadlock the ring.
+    """
+
+    __slots__ = ("world", "devices", "values", "arrived", "done", "results")
+
+    def __init__(self, env: Environment, world: int):
+        self.world = world
+        self.devices: list = [None] * world
+        self.values: list = [None] * world
+        self.arrived = 0
+        self.done = env.event()
+        self.results: Optional[list] = None
+
+
 class ExecutionState:
     """Shared state of one session run."""
 
@@ -124,6 +145,8 @@ class ExecutionState:
         self.fast_path = fast_path
         self._allocations: dict[tuple[int, int], _Allocation] = {}
         self._var_memory: dict[str, tuple[Any, int]] = {}
+        # Collective op name -> this run's rank-leg rendezvous.
+        self._collective_groups: dict[str, _CollectiveGroup] = {}
         # Per-run memoization: device-string lookups and kernel contexts
         # are hot (once per item execution) and constant within a run.
         self._task_cache: dict[str, Any] = {}
@@ -173,6 +196,14 @@ class ExecutionState:
             )
             self._ctx_cache[device] = ctx
         return ctx
+
+    def collective_group(self, item: Item) -> _CollectiveGroup:
+        """The (per-run) rank rendezvous of ``item``'s collective op."""
+        group = self._collective_groups.get(item.op.name)
+        if group is None:
+            group = _CollectiveGroup(self.env, item.op.get_attr("world"))
+            self._collective_groups[item.op.name] = group
+        return group
 
     # -- memory refcounting -------------------------------------------------------
     def register_outputs(self, item: Item, outputs: list) -> int:
@@ -351,6 +382,10 @@ class _Dispatcher:
                     self._start_recv(item)
                 elif item.kind == "send":
                     self._start_driven(item, _run_send(self.state, item))
+                elif item.kind == "collective":
+                    self._start_driven(
+                        item, _run_collective(self.state, item)
+                    )
                 else:  # "op"
                     if self._start_op(item):
                         queue.extend(self._completed(item))
@@ -623,6 +658,8 @@ def _item_proc(state: ExecutionState, item: Item):
         yield from _run_send(state, item)
     elif item.kind == "recv":
         yield from _run_recv(state, item)
+    elif item.kind == "collective":
+        yield from _run_collective(state, item)
     elif item.kind == "const":
         # Fast path disabled: const items still complete instantly, just
         # inside a simulator process.
@@ -667,6 +704,64 @@ def _run_recv(state: ExecutionState, item: Item):
     item.out_values = [value]
     if value is not None:
         state.register_outputs(item, [value])
+
+
+def _collective_schedule(state: ExecutionState, op, group: _CollectiveGroup):
+    """The ring generator for one collective op over its rank devices."""
+    from repro.runtime import collective as ring
+
+    protocol = op.get_attr("protocol") or state.protocol
+    if op.type == "CollectiveAllReduce":
+        return ring.ring_allreduce(group.devices, group.values, protocol)
+    if op.type == "CollectiveAllGather":
+        return ring.ring_allgather(group.devices, group.values, protocol)
+    if op.type == "CollectiveBroadcast":
+        return ring.ring_broadcast(group.devices, group.values[0], protocol,
+                                   root=0)
+    raise InternalError(f"Not a collective op type: {op.type}")
+
+
+def _run_collective(state: ExecutionState, item: Item):
+    """One rank leg of a lowered collective op.
+
+    The leg publishes its device and rank input into the run's group
+    rendezvous; the last leg to arrive drives the ring schedule (so the
+    op's simulated time is exactly the standalone ring generator's), and
+    every leg completes at the ring's finish time holding its own rank's
+    result. Legs never occupy a device slot while blocked — the ring's
+    wire time is charged on the transports, and the per-step host math
+    inside the ring generator accounts the device-side adds.
+    """
+    op = item.op
+    rank = item.collective_rank
+    group = state.collective_group(item)
+    start = state.env.now
+    group.devices[rank] = state.device_obj(item.device)
+    if item.sources:
+        group.values[rank] = state.resolve_source(item.sources[0])
+    group.arrived += 1
+    if state.metadata is not None:
+        state.metadata.collective_items += 1
+    if group.arrived == group.world:
+        try:
+            results = yield from _collective_schedule(state, op, group)
+        except BaseException as exc:
+            # Wake the peer legs so their cleanup runs; the failure still
+            # surfaces through this leg (and the run's done event).
+            if group.world > 1 and not group.done.triggered:
+                group.done.fail(exc)
+            raise
+        group.results = results
+        group.done.succeed()
+    else:
+        yield group.done
+    result = group.results[rank]
+    item.out_values = [result]
+    state.register_outputs(item, [result])
+    if item.sources and item.sources[0][0] is not FEED:
+        producer, idx = item.sources[0]
+        state.consume(producer, idx)
+    _record_node_stats(state, item, start)
 
 
 def _run_op(state: ExecutionState, item: Item):

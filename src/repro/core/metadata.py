@@ -99,6 +99,9 @@ class RunMetadata:
     plan_items: int = 0
     fast_path_items: int = 0
     process_items: int = 0
+    # Rank legs of lowered collective ops executed during the run (one
+    # CollectiveAllReduce over W workers contributes W).
+    collective_items: int = 0
     # Frontend cache accounting. ``plan_cache_hit`` says whether *this*
     # run reused a cached execution plan; the ``*_hits``/``*_misses``
     # pairs are the owning session's / traced function's cumulative

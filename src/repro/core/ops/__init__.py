@@ -6,6 +6,7 @@ the small slice of the TF 1.x API the paper's applications use.
 
 from repro.core.ops import (  # noqa: F401  (import for kernel registration)
     array_ops,
+    collective_ops,
     control_flow,
     data_ops,
     io_ops,
@@ -33,6 +34,7 @@ from repro.core.ops.array_ops import (
     zeros,
     zeros_like,
 )
+from repro.core.ops.collective_ops import all_gather, all_reduce, broadcast
 from repro.core.ops.control_flow import group, no_op
 from repro.core.ops.data_ops import Dataset
 from repro.core.ops.io_ops import read_tile, write_tile
@@ -76,4 +78,5 @@ __all__ = [
     "global_variables_initializer",
     "FIFOQueue", "Dataset", "read_tile", "write_tile",
     "fft", "ifft", "group", "no_op",
+    "all_reduce", "all_gather", "broadcast",
 ]

@@ -1,0 +1,261 @@
+"""First-class collective ops: allreduce, allgather, broadcast.
+
+The paper's discussion section argues for "an MPI communication backend
+for functions such as allreduce without needing the use of dedicated
+servers" (Horovod, the Cray ML plugin). These builders promote the ring
+collectives of :mod:`repro.runtime.collective` into the graph: one
+``CollectiveAllReduce`` op has ``W`` inputs (one per rank, each typically
+living on a different worker's device) and ``W`` outputs (one reduced
+copy per rank, colocated with that rank's input).
+
+Under a Session the partitioner *lowers* the op into ``W`` per-rank plan
+items (see ``build_plan``): each leg sits on its rank's device, receives
+its rank's input through the ordinary ``route_value`` send/recv
+machinery, and the executor drives the shared ring schedule over the
+simulated transports — so placement, the plan-time optimizer, the plan
+cache, the dependency-counting dispatcher and ``RunMetadata`` all apply,
+and the op's simulated time is the standalone ring generator's time by
+construction.
+
+Eagerly (and under ``run_functions_eagerly``) the kernels below execute
+the same canonical arithmetic directly — concrete sums accumulate in
+rank order starting from zeros, exactly as the ring's concrete path
+does, so the three frontends produce byte-identical values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.ops.common import any_symbolic, make_symbolic, runtime_spec, to_tensor
+from repro.core.tensor import Tensor, TensorShape
+from repro.errors import InvalidArgumentError
+
+__all__ = [
+    "COLLECTIVE_OP_TYPES",
+    "all_reduce",
+    "all_gather",
+    "broadcast",
+]
+
+# Op types the partitioner lowers into per-rank ring legs.
+COLLECTIVE_OP_TYPES = frozenset(
+    {"CollectiveAllReduce", "CollectiveAllGather", "CollectiveBroadcast"}
+)
+
+
+def _common_attrs(world: int, devices: Optional[Sequence[str]],
+                  protocol: Optional[str]) -> dict:
+    if devices is not None:
+        devices = tuple(str(d) for d in devices)
+        if len(devices) != world:
+            raise InvalidArgumentError(
+                f"collective got {world} ranks but {len(devices)} devices"
+            )
+    return {"world": world, "devices": devices, "protocol": protocol}
+
+
+def _rank_tensors(values: Sequence[Any], what: str) -> list[Tensor]:
+    if not isinstance(values, (list, tuple)) or not values:
+        raise InvalidArgumentError(
+            f"{what} expects a non-empty list of per-rank tensors"
+        )
+    tensors = [to_tensor(v) for v in values]
+    graph = tensors[0].graph
+    for t in tensors[1:]:
+        if t.graph is not graph:
+            raise InvalidArgumentError(
+                f"{what} ranks span different graphs"
+            )
+        if t.dtype != tensors[0].dtype:
+            raise InvalidArgumentError(
+                f"{what} dtype mismatch: {tensors[0].dtype.name} vs "
+                f"{t.dtype.name}"
+            )
+    return tensors
+
+
+def all_reduce(
+    values: Sequence[Any],
+    devices: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
+    name: str = "CollectiveAllReduce",
+) -> list[Tensor]:
+    """Sum-allreduce one tensor per rank; returns one reduced copy per rank.
+
+    Args:
+        values: per-rank addends of equal shape and dtype (the rank order
+            is the ring order).
+        devices: optional explicit per-rank device strings; by default
+            each rank's leg colocates with its input's producer.
+        protocol: bulk transport override for the ring traffic (defaults
+            to the session's data protocol).
+    """
+    tensors = _rank_tensors(values, "all_reduce")
+    shape = tensors[0].shape
+    for t in tensors[1:]:
+        shape = shape.merge_with(t.shape)
+    op = tensors[0].graph.create_op(
+        "CollectiveAllReduce",
+        inputs=tensors,
+        output_specs=[(tensors[0].dtype, shape)] * len(tensors),
+        attrs=_common_attrs(len(tensors), devices, protocol),
+        name=name,
+    )
+    return list(op.outputs)
+
+
+def all_gather(
+    values: Sequence[Any],
+    devices: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
+    name: str = "CollectiveAllGather",
+) -> list[Tensor]:
+    """Allgather per-rank tensors (concatenated along axis 0) to every rank."""
+    tensors = _rank_tensors(values, "all_gather")
+    lead: Optional[int] = 0
+    trailing: Optional[TensorShape] = None
+    for t in tensors:
+        rank = t.shape.rank
+        if rank == 0:
+            raise InvalidArgumentError(
+                "all_gather needs tensors of rank >= 1 (got a scalar)"
+            )
+        if rank is None:
+            lead, trailing = None, None
+            break
+        tail = t.shape[1:]
+        trailing = tail if trailing is None else trailing.merge_with(tail)
+        head = t.shape[0]
+        lead = None if (lead is None or head is None) else lead + head
+    if trailing is None:
+        out_shape = TensorShape(None)
+    else:
+        out_shape = TensorShape([lead]).concatenate(trailing)
+    op = tensors[0].graph.create_op(
+        "CollectiveAllGather",
+        inputs=tensors,
+        output_specs=[(tensors[0].dtype, out_shape)] * len(tensors),
+        attrs=_common_attrs(len(tensors), devices, protocol),
+        name=name,
+    )
+    return list(op.outputs)
+
+
+def broadcast(
+    value: Any,
+    world: Optional[int] = None,
+    devices: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
+    name: str = "CollectiveBroadcast",
+) -> list[Tensor]:
+    """Broadcast ``value`` (rank 0, the root) to ``world`` ranks.
+
+    One of ``world``/``devices`` must be given; with ``devices`` the root
+    is ``devices[0]`` and every rank's copy lands on its device. Under a
+    Session, ``world > 1`` requires the explicit ``devices`` list — the
+    partitioner cannot infer non-root placement from the single input
+    (eager execution accepts bare ``world``: there is no placement).
+    """
+    if devices is not None:
+        if world is not None and world != len(devices):
+            raise InvalidArgumentError(
+                f"broadcast got world={world} but {len(devices)} devices"
+            )
+        world = len(devices)
+    if world is None or world < 1:
+        raise InvalidArgumentError(
+            "broadcast needs world >= 1 (or an explicit devices list)"
+        )
+    tensor = to_tensor(value)
+    op = tensor.graph.create_op(
+        "CollectiveBroadcast",
+        inputs=[tensor],
+        output_specs=[(tensor.dtype, tensor.shape)] * world,
+        attrs=_common_attrs(world, devices, protocol),
+        name=name,
+    )
+    return list(op.outputs)
+
+
+# ---------------------------------------------------------------------------
+# kernels (direct execution: eager / run_functions_eagerly)
+# ---------------------------------------------------------------------------
+#
+# Under a Session these ops never reach kernel dispatch — the partitioner
+# lowers them into per-rank ring legs — so the kernels only implement the
+# immediate-execution semantics. They are deliberately *not* ``pure``
+# (CSE/folding must not merge or pre-evaluate communication) and not
+# ``graph_only`` (the arithmetic is well-defined without a simulator).
+
+
+def _validate_allreduce_inputs(specs) -> None:
+    for spec in specs[1:]:
+        if spec.shape != specs[0].shape or spec.dtype != specs[0].dtype:
+            raise InvalidArgumentError(
+                f"allreduce buffers disagree: {specs[0]} vs {spec}"
+            )
+
+
+@register_kernel("CollectiveAllReduce")
+def _all_reduce_kernel(op, inputs, ctx):
+    specs = [runtime_spec(v) for v in inputs]
+    _validate_allreduce_inputs(specs)
+    world = len(inputs)
+    nbytes = sum(s.nbytes for s in specs)
+    cost = Cost(
+        flops=(world - 1) * specs[0].size,
+        mem_bytes=nbytes + world * specs[0].nbytes,
+        kind="compute",
+    )
+    if any_symbolic(inputs):
+        return [
+            make_symbolic(specs[0].shape, specs[0].dtype) for _ in inputs
+        ], cost
+    # Canonical accumulation order (zeros, then rank 0, 1, ...): matches
+    # the ring generator's concrete path byte for byte.
+    total = np.zeros(specs[0].shape, dtype=specs[0].dtype.np_dtype)
+    for value in inputs:
+        total = total + np.asarray(value)
+    return [total.copy() for _ in inputs], cost
+
+
+@register_kernel("CollectiveAllGather")
+def _all_gather_kernel(op, inputs, ctx):
+    specs = [runtime_spec(v) for v in inputs]
+    for spec in specs[1:]:
+        if (
+            spec.ndim != specs[0].ndim
+            or spec.ndim == 0
+            or spec.shape[1:] != specs[0].shape[1:]
+            or spec.dtype != specs[0].dtype
+        ):
+            raise InvalidArgumentError(
+                f"allgather buffers disagree beyond axis 0: "
+                f"{specs[0]} vs {spec}"
+            )
+    world = len(inputs)
+    nbytes = sum(s.nbytes for s in specs)
+    cost = Cost(mem_bytes=(1 + world) * nbytes, kind="memcpy")
+    if any_symbolic(inputs):
+        out_shape = (sum(s.shape[0] for s in specs), *specs[0].shape[1:])
+        return [
+            make_symbolic(out_shape, specs[0].dtype) for _ in inputs
+        ], cost
+    full = np.concatenate([np.asarray(v) for v in inputs], axis=0)
+    return [full.copy() for _ in inputs], cost
+
+
+@register_kernel("CollectiveBroadcast")
+def _broadcast_kernel(op, inputs, ctx):
+    (value,) = inputs
+    world = op.get_attr("world")
+    spec = runtime_spec(value)
+    cost = Cost(mem_bytes=world * spec.nbytes, kind="memcpy")
+    if any_symbolic(inputs):
+        return [make_symbolic(spec.shape, spec.dtype) for _ in range(world)], cost
+    arr = np.asarray(value)
+    return [arr.copy() for _ in range(world)], cost

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
 
 from repro.core.graph import Graph, Operation
+from repro.core.ops.collective_ops import COLLECTIVE_OP_TYPES
 from repro.core.placement import Placer
 from repro.core.tensor import Tensor
 from repro.errors import InvalidArgumentError
@@ -42,7 +43,7 @@ class Item:
     """One schedulable unit on one device."""
 
     uid: int
-    kind: str  # "op" | "send" | "recv" | "const"
+    kind: str  # "op" | "send" | "recv" | "const" | "collective"
     device: str
     op: Optional[Operation] = None
     # Value inputs: (producer Item, output index) or (FEED, tensor name).
@@ -58,6 +59,9 @@ class Item:
     # Whether any surrounding tensor is double precision ("op" items;
     # precomputed so the executor's cost conversion skips a tensor scan).
     double_precision: bool = False
+    # Which rank of its collective op this leg executes ("collective"
+    # items only; one leg per rank, all sharing the same ``op``).
+    collective_rank: int = 0
     # Per-output consumer counts (memory refcounting), filled by build_plan.
     consumer_counts: list = field(default_factory=list)
     # Dependency graph (static per plan), filled by build_plan: number of
@@ -180,6 +184,10 @@ def build_plan(
     # ---- 4. items + send/recv insertion ------------------------------------
     items: list[Item] = []
     op_items: dict[str, Item] = {}
+    # Collective op name -> its per-rank legs (lowering replaces the one
+    # graph op with one "collective" item per rank; output index r is
+    # produced by leg r's single output slot).
+    collective_legs: dict[str, list[Item]] = {}
     # (tensor name, dst device) -> recv Item  (dedupe: one transfer feeds
     # every consumer of the tensor on that device).
     recv_cache: dict[tuple[str, str], Item] = {}
@@ -191,6 +199,13 @@ def build_plan(
         items.append(item)
         return item
 
+    def producer_of(tensor: Tensor) -> tuple[Item, int]:
+        """The (item, output index) producing ``tensor`` after lowering."""
+        legs = collective_legs.get(tensor.op.name)
+        if legs is not None:
+            return legs[tensor.value_index], 0
+        return op_items[tensor.op.name], tensor.value_index
+
     def route_value(tensor: Tensor, dst_device: str):
         """Source ref delivering ``tensor`` onto ``dst_device``."""
         if tensor.name in feeds:
@@ -198,16 +213,16 @@ def build_plan(
         tensor = resolve(tensor)
         if tensor.name in feeds:
             return (FEED, tensor.name)
-        producer = op_items[tensor.op.name]
+        producer, out_index = producer_of(tensor)
         if producer.device == dst_device:
-            return (producer, tensor.value_index)
+            return (producer, out_index)
         cache_key = (tensor.name, dst_device)
         if cache_key not in recv_cache:
             key = make_key(producer.device, dst_device, tensor.name, run_id)
             send = new_item(
                 kind="send",
                 device=producer.device,
-                sources=[(producer, tensor.value_index)],
+                sources=[(producer, out_index)],
                 key=key,
                 dst_device=dst_device,
                 tensor_name=tensor.name,
@@ -226,16 +241,13 @@ def build_plan(
             recv_cache[cache_key] = recv
         return (recv_cache[cache_key], 0)
 
-    def route_control(dep_op: Operation, dst_device: str) -> Item:
-        """Item whose completion implies ``dep_op`` ran, visible on dst."""
-        producer = op_items[dep_op.name]
+    def _route_control_item(producer: Item, label: str,
+                            dst_device: str) -> Item:
         if producer.device == dst_device:
             return producer
-        cache_key = (dep_op.name, dst_device)
+        cache_key = (label, dst_device)
         if cache_key not in ctrl_cache:
-            key = make_key(
-                producer.device, dst_device, f"^{dep_op.name}", run_id
-            )
+            key = make_key(producer.device, dst_device, f"^{label}", run_id)
             send = new_item(
                 kind="send",
                 device=producer.device,
@@ -243,21 +255,115 @@ def build_plan(
                 extra_deps=[producer],
                 key=key,
                 dst_device=dst_device,
-                tensor_name=f"^{dep_op.name}",
+                tensor_name=f"^{label}",
             )
             recv = new_item(
                 kind="recv",
                 device=dst_device,
                 key=key,
-                tensor_name=f"^{dep_op.name}",
+                tensor_name=f"^{label}",
                 extra_deps=[send],
             )
             ctrl_cache[cache_key] = recv
         return ctrl_cache[cache_key]
 
+    def route_control(dep_op: Operation, dst_device: str) -> list[Item]:
+        """Items whose completion implies ``dep_op`` ran, visible on dst.
+
+        A single item normally; a lowered collective contributes one
+        ordering edge per rank leg (the op "ran" once every leg did).
+        """
+        legs = collective_legs.get(dep_op.name)
+        if legs is not None:
+            return [
+                _route_control_item(leg, f"{dep_op.name}:{rank}", dst_device)
+                for rank, leg in enumerate(legs)
+            ]
+        return [_route_control_item(op_items[dep_op.name], dep_op.name,
+                                    dst_device)]
+
+    def control_deps_of(op: Operation, device: str) -> list[Item]:
+        deps: list[Item] = []
+        for dep in control_inputs_of(op):
+            deps.extend(route_control(dep, device))
+        return deps
+
+    def lower_collective(op: Operation) -> None:
+        """Expand a collective op into one ring leg per rank.
+
+        Each leg lands on its rank's device — explicit ``devices`` attr
+        first, else colocated with the rank input's producer — takes only
+        its *own* rank's input through ``route_value`` (the ring traffic
+        itself is charged by the executor's shared ring schedule, never
+        by per-input send/recv fan-in), and produces output index
+        ``rank`` of the op as its single output slot.
+        """
+        world = op.get_attr("world")
+        devices_attr = op.get_attr("devices")
+        if (
+            op.type == "CollectiveBroadcast"
+            and world > 1
+            and devices_attr is None
+        ):
+            # Unlike allreduce/allgather there is one input for W ranks:
+            # non-root placement cannot be inferred, and colocating every
+            # leg with the root would silently model a W-way broadcast as
+            # zero communication.
+            raise InvalidArgumentError(
+                f"{op.name}: a broadcast with world > 1 under a Session "
+                f"needs an explicit devices= list"
+            )
+        legs = []
+        for rank in range(world):
+            input_t = (
+                op.inputs[0] if op.type == "CollectiveBroadcast"
+                else op.inputs[rank]
+            )
+            if devices_attr is not None:
+                dev = placer.resolve_device(
+                    devices_attr[rank], op.type, name=f"{op.name}[{rank}]"
+                )
+            else:
+                resolved = resolve(input_t)
+                upstream = collective_legs.get(resolved.op.name)
+                if upstream is not None:
+                    # Chained collectives: colocate with the upstream
+                    # *leg* that produces this rank's input (the op's
+                    # nominal placement is a single device and would
+                    # collapse every leg onto it).
+                    dev = upstream[resolved.value_index].device
+                elif (
+                    resolved.name not in feeds
+                    and resolved.op.name in placements
+                ):
+                    dev = placements[resolved.op.name]
+                else:
+                    # Fed input: its producer was pruned — honour the
+                    # placeholder's requested device string instead.
+                    dev = placer.resolve_device(
+                        resolved.op.device, op.type, name=f"{op.name}[{rank}]"
+                    )
+            leg = new_item(kind="collective", device=dev, op=op)
+            leg.collective_rank = rank
+            legs.append(leg)
+        collective_legs[op.name] = legs
+        for rank, leg in enumerate(legs):
+            if op.type == "CollectiveBroadcast":
+                # Only the root holds the payload; the other legs receive
+                # it through the ring schedule, not through route_value.
+                leg.sources = (
+                    [route_value(op.inputs[0], leg.device)] if rank == 0 else []
+                )
+            else:
+                leg.sources = [route_value(op.inputs[rank], leg.device)]
+            leg.extra_deps = control_deps_of(op, leg.device)
+
     folded = opt.folded if opt is not None else {}
     for op in ordered:
         device = placements[op.name]
+        if op.type in COLLECTIVE_OP_TYPES:
+            lower_collective(op)
+            continue
         if op.name in folded:
             # Constant-folded root: materializes pre-evaluated outputs on
             # its device at zero simulated cost; no runtime inputs.
@@ -275,17 +381,13 @@ def build_plan(
                 const_values=[op.get_attr("value")],
             )
             op_items[op.name] = item
-            item.extra_deps = [
-                route_control(dep, device) for dep in control_inputs_of(op)
-            ]
+            item.extra_deps = control_deps_of(op, device)
             continue
         item = new_item(kind="op", device=device, op=op)
         item.double_precision = _is_double_precision(op)
         op_items[op.name] = item
         item.sources = [route_value(t, device) for t in op.inputs]
-        item.extra_deps = [
-            route_control(dep, device) for dep in control_inputs_of(op)
-        ]
+        item.extra_deps = control_deps_of(op, device)
 
     # ---- 5. fetch routing ---------------------------------------------------
     fetch_sources = []

@@ -135,17 +135,28 @@ class Placer:
         self.allow_soft = allow_soft_placement
 
     def place(self, op) -> str:
-        requested = DeviceSpec.parse(op.device)
+        return self.resolve_device(op.device, op.type, name=op.name)
+
+    def resolve_device(self, device_str: str, op_type: str,
+                       name: str = "<device>") -> str:
+        """Resolve a raw (possibly partial) device string for ``op_type``.
+
+        The same rules as :meth:`place`, callable on a bare string — the
+        partitioner uses it to resolve the per-rank device list of a
+        collective op, whose legs land on many devices while the op
+        itself carries a single placement.
+        """
+        requested = DeviceSpec.parse(device_str)
         spec = requested.merge_defaults(
             DeviceSpec(job=self.default_job, task=self.default_task)
         )
         key = (spec.job, spec.task)
         if key not in self.task_devices:
             raise NotFoundError(
-                f"Op {op.name!r} requests unknown task /job:{spec.job}/task:{spec.task}"
+                f"Op {name!r} requests unknown task /job:{spec.job}/task:{spec.task}"
             )
         available = self.task_devices[key]
-        supported = supported_device_types(op.type)
+        supported = supported_device_types(op_type)
 
         if spec.device_type is None:
             # Simple placement: prefer the first GPU when the kernel
@@ -159,7 +170,7 @@ class Placer:
             problem = None
             if spec.device_type not in supported:
                 problem = (
-                    f"op type {op.type} has no {spec.device_type} kernel"
+                    f"op type {op_type} has no {spec.device_type} kernel"
                 )
             elif available.get(spec.device_type, 0) <= spec.device_index:
                 problem = (
@@ -170,7 +181,7 @@ class Placer:
             if problem is not None:
                 if not self.allow_soft:
                     raise InvalidArgumentError(
-                        f"Cannot place op {op.name!r} on "
+                        f"Cannot place op {name!r} on "
                         f"{spec.to_string()!r}: {problem} "
                         f"(allow_soft_placement=False)"
                     )

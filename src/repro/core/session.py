@@ -41,7 +41,7 @@ from repro.simnet.gpu import GENERIC_GPU, GPUModel
 from repro.simnet.machines import Machine, localhost
 from repro.simnet.transports import protocol_latency
 
-__all__ = ["Session", "SessionConfig"]
+__all__ = ["Session", "SessionConfig", "admin_rpc_time"]
 
 _RUN_IDS = itertools.count(1)
 
@@ -49,6 +49,18 @@ _RUN_IDS = itertools.count(1)
 # lived sessions issuing many distinct fetch combinations evict LRU-first
 # instead of growing without limit.
 _PLAN_CACHE_CAPACITY = 64
+
+
+def admin_rpc_time(remote_tasks: bool) -> float:
+    """Administrative RPC overhead charged at the start of every run.
+
+    One client -> master gRPC round trip, plus parallel triggers to the
+    remote participating tasks when any exist (gRPC always carries this
+    control traffic, whatever the data protocol). Exposed so timing
+    tests and benchmarks subtract the same overhead the session charges.
+    """
+    grpc_rtt = 2 * protocol_latency("grpc")
+    return grpc_rtt * (2 if remote_tasks else 1)
 
 
 @dataclass
@@ -294,8 +306,7 @@ class Session:
             )
             self._plan_cache[cache_key] = plan
             self._plan_cache.move_to_end(cache_key)
-            while len(self._plan_cache) > _PLAN_CACHE_CAPACITY:
-                self._plan_cache.popitem(last=False)
+            self._evict_plans()
         else:
             # Reset per-run state; rendezvous keys may repeat because every
             # run gets a fresh Rendezvous instance.
@@ -315,19 +326,12 @@ class Session:
         metadata.plan_cache_hits = self._plan_cache_hits
         metadata.plan_cache_misses = self._plan_cache_misses
 
-        # Administrative RPC: client -> master round trip, plus parallel
-        # triggers to every remote participating task (gRPC always carries
-        # this control traffic, whatever the data protocol).
-        grpc_rtt = 2 * protocol_latency("grpc")
-        admin = grpc_rtt
         remote_tasks = [
             key
             for key in plan.devices_by_task
             if key != (self._master.job_name, self._master.task_index)
         ]
-        if remote_tasks:
-            admin += grpc_rtt
-        yield env.timeout(admin)
+        yield env.timeout(admin_rpc_time(bool(remote_tasks)))
 
         rendezvous = Rendezvous(env)
         state = ExecutionState(
@@ -396,6 +400,27 @@ class Session:
                 )
             validated[name] = value
         return validated
+
+    def _evict_plans(self) -> None:
+        """Bound the plan cache, never dropping a plan a run still holds.
+
+        Eviction is LRU-first but skips plans registered in
+        ``_plans_in_flight``: a concurrent ``run_gen`` holds item-level
+        runtime state on the plan's items, and dropping its cache entry
+        mid-run would let a same-key rerun rebuild (and re-cache) a
+        duplicate plan while the first still executes. If every cached
+        plan is mid-run the cache temporarily overflows instead.
+        """
+        if len(self._plan_cache) <= _PLAN_CACHE_CAPACITY:
+            return
+        evictable = [
+            key
+            for key, plan in self._plan_cache.items()
+            if id(plan) not in self._plans_in_flight
+        ]
+        excess = len(self._plan_cache) - _PLAN_CACHE_CAPACITY
+        for key in evictable[:excess]:
+            del self._plan_cache[key]
 
     def plan_cache_info(self) -> dict:
         """Cached-plan statistics.

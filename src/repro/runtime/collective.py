@@ -1,31 +1,40 @@
-"""Ring allreduce — the MPI-style collective the paper points to.
+"""Ring collectives — the MPI-style primitives the paper points to.
 
 The discussion section names Uber's Horovod and Cray's ML plugin as the
 way past the parameter-server/reducer model: "an MPI communication
 backend for functions such as allreduce without needing the use of
 dedicated servers". This module implements the classic bandwidth-optimal
-ring allreduce over the simulated transports so the two designs can be
-compared head-to-head (see ``benchmarks/bench_ablations.py``).
+ring schedules over the simulated transports so the two designs can be
+compared head-to-head (see ``benchmarks/bench_collectives.py``), and it
+is the lowering target of the graph-level collective ops
+(:mod:`repro.core.ops.collective_ops`): a ``CollectiveAllReduce`` item
+group drives exactly these generators, so the op's simulated time is the
+standalone ring's time by construction.
 
-Algorithm: with ``W`` ranks the buffer is cut into ``W`` chunks;
-``W - 1`` reduce-scatter steps followed by ``W - 1`` allgather steps each
-move one chunk to the ring neighbour, all links active concurrently.
-Every rank sends and receives ``2 (W-1)/W`` of the buffer — independent
-of ``W`` — which is exactly why it beats a central reducer.
+Algorithm (allreduce): with ``W`` ranks the buffer is cut into ``W``
+chunks; ``W - 1`` reduce-scatter steps followed by ``W - 1`` allgather
+steps each move one chunk to the ring neighbour, all links active
+concurrently. Every rank sends and receives ``2 (W-1)/W`` of the buffer —
+independent of ``W`` — which is exactly why it beats a central reducer.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.core.tensor import SymbolicValue, value_nbytes
+from repro.core.tensor import SymbolicValue
 from repro.errors import InvalidArgumentError
 from repro.simnet import transports
 from repro.simnet.events import AllOf, Environment
 
-__all__ = ["ring_allreduce", "allreduce_time_lower_bound"]
+__all__ = [
+    "ring_allreduce",
+    "ring_allgather",
+    "ring_broadcast",
+    "allreduce_time_lower_bound",
+]
 
 
 def allreduce_time_lower_bound(nbytes: int, num_ranks: int, link_rate: float) -> float:
@@ -33,6 +42,26 @@ def allreduce_time_lower_bound(nbytes: int, num_ranks: int, link_rate: float) ->
     if num_ranks < 2:
         return 0.0
     return 2.0 * (num_ranks - 1) / num_ranks * nbytes / link_rate
+
+
+def _validate_ring(devices: Sequence, values: Sequence) -> list[SymbolicValue]:
+    if len(devices) != len(values):
+        raise InvalidArgumentError(
+            f"{len(devices)} devices but {len(values)} values"
+        )
+    if not devices:
+        raise InvalidArgumentError("a collective needs at least one rank")
+    return [SymbolicValue.of(v) for v in values]
+
+
+def _slowest_numpy_rate(devices: Sequence) -> float:
+    """Host vector-op rate of the slowest rank.
+
+    Every reduce-scatter/assembly step completes when the *last* rank
+    finishes its local math, so on heterogeneous rings the slowest host
+    gates each step.
+    """
+    return min(d.node.cpu.model.numpy_bytes_rate for d in devices)
 
 
 def ring_allreduce(
@@ -50,15 +79,12 @@ def ring_allreduce(
 
     Returns (via generator return value): the list of per-rank reduced
     values — every rank holds the full sum, as after ``MPI_Allreduce``.
+    Concrete sums are accumulated in rank order starting from zeros, so
+    every rank's copy is byte-identical to a central reduction of the
+    same addends.
     """
-    if len(devices) != len(values):
-        raise InvalidArgumentError(
-            f"{len(devices)} devices but {len(values)} values"
-        )
+    specs = _validate_ring(devices, values)
     world = len(devices)
-    if world == 0:
-        raise InvalidArgumentError("allreduce needs at least one rank")
-    specs = [SymbolicValue.of(v) for v in values]
     for spec in specs[1:]:
         if spec.shape != specs[0].shape or spec.dtype != specs[0].dtype:
             raise InvalidArgumentError(
@@ -66,7 +92,13 @@ def ring_allreduce(
             )
     symbolic = any(isinstance(v, SymbolicValue) for v in values)
     if symbolic:
-        result_per_rank = [specs[0]] * world
+        # One *distinct* spec per rank: the reduced value has the input's
+        # shape/dtype but is a fresh buffer on every rank — aliasing one
+        # spec object across ranks (the old behaviour) made every rank's
+        # "result" literally rank 0's input.
+        result_per_rank = [
+            SymbolicValue(specs[0].shape, specs[0].dtype) for _ in range(world)
+        ]
     else:
         total = np.zeros(specs[0].shape, dtype=specs[0].dtype.np_dtype)
         for value in values:
@@ -80,6 +112,7 @@ def ring_allreduce(
     # Chunks are ceil-divided; the last partial chunk costs like a full one
     # only in its final step, which the ceil approximates conservatively.
     chunk = -(-nbytes // world)
+    add_seconds = chunk / _slowest_numpy_rate(devices)
     steps = 2 * (world - 1)
     for _step in range(steps):
         moves = []
@@ -95,9 +128,130 @@ def ring_allreduce(
             )
         yield AllOf(env, moves)
         # Reduction math on each rank: one chunk-sized vector add per
-        # reduce-scatter step (charged on the device's host; negligible
-        # next to the wire time, but accounted).
+        # reduce-scatter step. All ranks add concurrently, so the step
+        # costs the slowest rank's add (negligible next to the wire time,
+        # but accounted).
         if _step < world - 1:
-            add_seconds = chunk / devices[0].node.cpu.model.numpy_bytes_rate
             yield env.timeout(add_seconds)
+    return result_per_rank
+
+
+def ring_allgather(
+    devices: Sequence,
+    values: Sequence,
+    protocol: str = "rdma",
+) -> Iterator:
+    """Generator: allgather ``values`` across ``devices`` (concat axis 0).
+
+    ``W - 1`` steps; in step ``s`` every rank forwards the chunk it
+    received in step ``s - 1`` (its own buffer initially) to the next
+    rank, all links active concurrently. Every rank ends holding the
+    rank-order concatenation — total traffic per link is
+    ``(W-1)/W * total_bytes``, the bandwidth-optimal allgather.
+
+    Returns the per-rank list of assembled values (one independent copy
+    per rank).
+    """
+    specs = _validate_ring(devices, values)
+    world = len(devices)
+    for spec in specs[1:]:
+        if spec.ndim != specs[0].ndim or spec.ndim == 0:
+            raise InvalidArgumentError(
+                f"allgather buffers must share a rank >= 1: "
+                f"{specs[0]} vs {spec}"
+            )
+        if spec.shape[1:] != specs[0].shape[1:] or spec.dtype != specs[0].dtype:
+            raise InvalidArgumentError(
+                f"allgather buffers disagree beyond axis 0: "
+                f"{specs[0]} vs {spec}"
+            )
+    symbolic = any(isinstance(v, SymbolicValue) for v in values)
+    out_shape = (
+        sum(spec.shape[0] for spec in specs),
+        *specs[0].shape[1:],
+    )
+    if symbolic:
+        result_per_rank = [
+            SymbolicValue(out_shape, specs[0].dtype) for _ in range(world)
+        ]
+    else:
+        full = np.concatenate([np.asarray(v) for v in values], axis=0)
+        result_per_rank = [full.copy() for _ in range(world)]
+    if world == 1:
+        return result_per_rank
+
+    env: Environment = devices[0].env
+    for step in range(world - 1):
+        moves = []
+        for rank in range(world):
+            # Rank r forwards the chunk that originated at rank (r - step).
+            origin = (rank - step) % world
+            dst = (rank + 1) % world
+            moves.append(
+                env.process(
+                    transports.transfer(
+                        devices[rank], devices[dst],
+                        specs[origin].nbytes, protocol,
+                    ),
+                    name=f"allgather:{rank}->{dst}",
+                )
+            )
+        yield AllOf(env, moves)
+    # Local assembly: every rank copies the W chunks into one contiguous
+    # buffer; the slowest host gates the (concurrent) copies.
+    total_nbytes = sum(spec.nbytes for spec in specs)
+    yield env.timeout(total_nbytes / _slowest_numpy_rate(devices))
+    return result_per_rank
+
+
+def ring_broadcast(
+    devices: Sequence,
+    value,
+    protocol: str = "rdma",
+    root: int = 0,
+) -> Iterator:
+    """Generator: broadcast ``value`` from rank ``root`` to every rank.
+
+    Pipelined ring: the buffer is cut into ``W`` chunks which stream
+    around the ring; link ``j`` (hops from the root) is busy during steps
+    ``j .. j + W - 1``, so the whole broadcast takes ``2W - 2`` chunk
+    steps — for large buffers the time approaches one buffer traversal
+    regardless of ``W``, instead of the root serializing ``W - 1`` full
+    sends.
+
+    Returns the per-rank list of value copies (root's own entry is an
+    independent copy too).
+    """
+    world = len(devices)
+    if world == 0:
+        raise InvalidArgumentError("a collective needs at least one rank")
+    if not 0 <= root < world:
+        raise InvalidArgumentError(f"broadcast root {root} not in [0, {world})")
+    spec = SymbolicValue.of(value)
+    if isinstance(value, SymbolicValue):
+        result_per_rank = [
+            SymbolicValue(spec.shape, spec.dtype) for _ in range(world)
+        ]
+    else:
+        arr = np.asarray(value)
+        result_per_rank = [arr.copy() for _ in range(world)]
+    if world == 1:
+        return result_per_rank
+
+    env: Environment = devices[0].env
+    chunks = world
+    chunk = -(-spec.nbytes // chunks)
+    for step in range(chunks + world - 2):
+        moves = []
+        for hop in range(world - 1):
+            if hop <= step <= hop + chunks - 1:
+                src = devices[(root + hop) % world]
+                dst = devices[(root + hop + 1) % world]
+                moves.append(
+                    env.process(
+                        transports.transfer(src, dst, chunk, protocol),
+                        name=f"bcast:{hop}",
+                    )
+                )
+        yield AllOf(env, moves)
     return result_per_rank

@@ -1,0 +1,85 @@
+"""Halo-exchange stencil: numerics, mode equivalence, ring advantage."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import jacobi_reference, run_stencil
+from repro.errors import InvalidArgumentError
+
+
+class TestNumerics:
+    def test_concrete_matches_reference(self):
+        result = run_stencil(n=24, num_workers=2, iterations=20,
+                             check_every=5, mode="collective")
+        assert result.validated
+        reference, residuals = jacobi_reference(24, 20)
+        np.testing.assert_allclose(result.solution, reference, atol=1e-12)
+        assert result.residual_history[-1] == pytest.approx(residuals[-1])
+
+    def test_modes_are_byte_identical(self):
+        """The acceptance bar: central-reducer and ring-collective runs
+        converge identically — same residual history, same field bytes."""
+        ring = run_stencil(n=24, num_workers=3, iterations=15,
+                           check_every=3, mode="collective")
+        central = run_stencil(n=24, num_workers=3, iterations=15,
+                              check_every=3, mode="reducer")
+        assert ring.validated and central.validated
+        assert ring.residual_history == central.residual_history
+        assert ring.solution.tobytes() == central.solution.tobytes()
+
+    def test_tolerance_early_exit(self):
+        result = run_stencil(n=16, num_workers=2, iterations=500,
+                             check_every=10, mode="collective", tol=1e-6)
+        assert result.converged
+        assert result.iterations < 500
+        assert result.residual_history[-1] < 1e-6
+
+    def test_residual_decreases(self):
+        result = run_stencil(n=24, num_workers=2, iterations=40,
+                             check_every=10, mode="reducer")
+        history = result.residual_history
+        assert all(b < a for a, b in zip(history, history[1:]))
+
+
+class TestPerformance:
+    def test_ring_wins_at_four_workers(self):
+        """Communication topology dominates: the ring sync beats the
+        central reducer once four workers contend for the chief's NIC."""
+        common = dict(n=512, num_workers=4, iterations=10, check_every=1,
+                      shape_only=True)
+        ring = run_stencil(mode="collective", **common)
+        central = run_stencil(mode="reducer", **common)
+        assert ring.elapsed < central.elapsed
+        assert ring.check_elapsed < central.check_elapsed
+
+    def test_ring_advantage_grows_with_workers(self):
+        def speedup(workers):
+            common = dict(n=512, num_workers=workers, iterations=6,
+                          check_every=1, shape_only=True)
+            ring = run_stencil(mode="collective", **common)
+            central = run_stencil(mode="reducer", **common)
+            return central.check_elapsed / ring.check_elapsed
+
+        assert speedup(8) > speedup(4)
+
+    def test_optimizer_lane_is_sim_time_identical(self):
+        common = dict(n=64, num_workers=2, iterations=5, check_every=5,
+                      mode="collective", shape_only=True)
+        on = run_stencil(optimize=True, **common)
+        off = run_stencil(optimize=False, **common)
+        assert on.elapsed == pytest.approx(off.elapsed, rel=1e-9)
+        assert on.plan_items <= off.plan_items
+
+
+class TestValidation:
+    def test_workers_must_divide_grid(self):
+        with pytest.raises(InvalidArgumentError):
+            run_stencil(n=10, num_workers=3)
+
+    def test_blocks_need_two_rows(self):
+        with pytest.raises(InvalidArgumentError):
+            run_stencil(n=8, num_workers=8)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            run_stencil(mode="gossip")

@@ -61,6 +61,10 @@ CASES = [
     (("Slice",), "slice_", (_M23, [0, 1], [2, 2]), {}),
     (("FFT",), "fft", (_C8,), {}),
     (("IFFT",), "ifft", (_C8,), {}),
+    (("CollectiveAllReduce",), "all_reduce", ([_V4, _W4],), {}),
+    (("CollectiveAllGather",), "all_gather", ([_V4, _W4],), {}),
+    (("CollectiveBroadcast",), "broadcast", (_V4,),
+     {"devices": ("/cpu:0", "/cpu:0", "/cpu:0")}),
     (("NoOp",), "no_op", (), {}),
     (("RandomUniform",), "random_uniform", ([6],),
      {"minval": -1.0, "maxval": 1.0, "dtype": tf.float64}),

@@ -79,6 +79,53 @@ class TestConcurrentSessions:
             x, y = sess.run([c, c])
         assert x == y == pytest.approx(5.0)
 
+    def test_eviction_skips_in_flight_plans(self):
+        """LRU eviction must never drop a plan a concurrent run holds.
+
+        A run blocked on an empty queue keeps its plan in flight while
+        enough distinct fetches pour in to overflow the cache; the
+        in-flight plan's entry has to survive (evicting it would let a
+        same-key rerun rebuild and re-cache a duplicate plan while the
+        first still executes on the original's items).
+        """
+        from repro.core.session import _PLAN_CACHE_CAPACITY
+
+        g = tf.Graph()
+        with g.as_default():
+            q = tf.FIFOQueue(1, [tf.float32], shapes=[[]], name="q")
+            blocked = q.dequeue(name="blocked")
+            unblock = q.enqueue(tf.constant(7.0), name="unblock")
+            extras = [
+                tf.add(tf.constant(float(i)), tf.constant(1.0), name=f"e{i}")
+                for i in range(_PLAN_CACHE_CAPACITY + 5)
+            ]
+        sess = tf.Session(graph=g)
+        env = sess.env
+
+        got = {}
+
+        def runner():
+            got["value"] = yield from sess.run_gen(blocked)
+
+        proc = env.process(runner())
+        # Advance past the admin RPC: the run is now blocked inside the
+        # executor with its plan registered in flight.
+        env.run(until=env.now + 0.001)
+        assert len(sess._plans_in_flight) == 1
+        blocked_plan_ids = set(sess._plans_in_flight)
+
+        for tensor in extras:  # overflow the cache while the run blocks
+            sess.run(tensor)
+        assert len(sess._plan_cache) <= _PLAN_CACHE_CAPACITY
+        cached_ids = {id(plan) for plan in sess._plan_cache.values()}
+        assert blocked_plan_ids <= cached_ids  # survived eviction
+
+        sess.run(unblock)
+        env.run(until=proc)
+        assert got["value"] == pytest.approx(7.0)
+        # Finished runs become evictable again.
+        assert not sess._plans_in_flight
+
 
 class TestDeterminism:
     def test_identical_programs_identical_schedules(self):

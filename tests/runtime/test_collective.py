@@ -1,11 +1,18 @@
-"""Ring allreduce: correctness, timing bounds, and the Horovod argument."""
+"""Ring collectives: correctness, timing bounds, and the Horovod argument."""
+
+import dataclasses
 
 import numpy as np
 import pytest
 
 from repro.core.tensor import SymbolicValue
 from repro.errors import InvalidArgumentError
-from repro.runtime.collective import allreduce_time_lower_bound, ring_allreduce
+from repro.runtime.collective import (
+    allreduce_time_lower_bound,
+    ring_allgather,
+    ring_allreduce,
+    ring_broadcast,
+)
 from repro.simnet.events import Environment
 from repro.simnet.machines import tegner
 
@@ -19,16 +26,19 @@ def make_ring(num_nodes):
     return env, devices
 
 
-def run_allreduce(env, devices, values, protocol="rdma"):
+def run_collective(env, gen):
     out = {}
 
     def proc():
-        result = yield from ring_allreduce(devices, values, protocol)
-        out["result"] = result
+        out["result"] = yield from gen
         out["time"] = env.now
 
     env.run(until=env.process(proc()))
     return out["result"], out["time"]
+
+
+def run_allreduce(env, devices, values, protocol="rdma"):
+    return run_collective(env, ring_allreduce(devices, values, protocol))
 
 
 class TestCorrectness:
@@ -60,10 +70,40 @@ class TestCorrectness:
         assert all(isinstance(v, SymbolicValue) for v in result)
         assert elapsed > 0
 
+    def test_symbolic_results_are_distinct_per_rank(self):
+        """Regression: the symbolic path returned ``[specs[0]] * world`` —
+        every rank aliased rank 0's *input* spec object instead of holding
+        its own freshly reduced buffer."""
+        env, devices = make_ring(3)
+        values = [SymbolicValue((256,), "float32") for _ in range(3)]
+        result, _ = run_allreduce(env, devices, values)
+        assert len({id(v) for v in result}) == 3  # one buffer per rank
+        for rank_value in result:
+            assert all(rank_value is not v for v in values)
+            assert rank_value.shape == (256,)
+            assert rank_value.dtype.name == "float32"
+
+    def test_world_one_generator_under_env_process(self):
+        """Regression: world == 1 returns before the first yield; driving
+        the generator directly as a simulator process must still deliver
+        the result through StopIteration."""
+        env, devices = make_ring(1)
+        proc = env.process(ring_allreduce(devices, [np.arange(4.0)]))
+        result = env.run(until=proc)
+        np.testing.assert_allclose(result[0], np.arange(4.0))
+        assert env.now == 0.0
+
     def test_mismatched_shapes_rejected(self):
         env, devices = make_ring(2)
         with pytest.raises(InvalidArgumentError):
             run_allreduce(env, devices, [np.ones(4), np.ones(5)])
+
+    def test_mismatched_dtypes_rejected(self):
+        env, devices = make_ring(2)
+        with pytest.raises(InvalidArgumentError):
+            run_allreduce(env, devices, [
+                np.ones(4, np.float32), np.ones(4, np.float64),
+            ])
 
     def test_device_value_count_mismatch(self):
         env, devices = make_ring(2)
@@ -132,3 +172,93 @@ class TestTiming:
         assert allreduce_time_lower_bound(100, 1, 10) == 0.0
         assert allreduce_time_lower_bound(100, 2, 10) == pytest.approx(10.0)
         assert allreduce_time_lower_bound(100, 4, 10) == pytest.approx(15.0)
+
+    def test_slowest_rank_gates_reduce_scatter_adds(self):
+        """Regression: the reduce-scatter add was charged at rank 0's
+        NumPy rate for everyone; on a heterogeneous ring the slowest rank
+        gates every step."""
+        world = 4
+        nbytes = 8 * MB
+        values = [SymbolicValue((nbytes // 8,), "float64")
+                  for _ in range(world)]
+
+        def measure(slowdown):
+            env, devices = make_ring(world)
+            if slowdown != 1.0:
+                model = devices[-1].model
+                devices[-1].model = dataclasses.replace(
+                    model, numpy_bytes_rate=model.numpy_bytes_rate / slowdown
+                )
+            _, elapsed = run_allreduce(env, devices, values)
+            return elapsed, devices[0].model.numpy_bytes_rate
+
+        uniform, fast_rate = measure(1.0)
+        skewed, _ = measure(8.0)
+        chunk = -(-nbytes // world)
+        # (world - 1) reduce-scatter steps each slow down by the rate gap.
+        expected_gap = (world - 1) * chunk * (8.0 - 1.0) / fast_rate
+        assert skewed - uniform == pytest.approx(expected_gap, rel=1e-9)
+
+
+class TestAllGather:
+    def test_every_rank_gets_concatenation(self):
+        env, devices = make_ring(3)
+        values = [np.full((2, 3), float(r)) for r in range(3)]
+        result, elapsed = run_collective(
+            env, ring_allgather(devices, values))
+        expected = np.concatenate(values, axis=0)
+        assert elapsed > 0
+        for rank_value in result:
+            np.testing.assert_array_equal(rank_value, expected)
+        result[0][0, 0] = 99.0
+        assert result[1][0, 0] == 0.0  # independent buffers
+
+    def test_symbolic_shapes_and_uneven_blocks(self):
+        env, devices = make_ring(2)
+        values = [SymbolicValue((4, 8), "float64"),
+                  SymbolicValue((6, 8), "float64")]
+        result, _ = run_collective(env, ring_allgather(devices, values))
+        assert [v.shape for v in result] == [(10, 8)] * 2
+        assert len({id(v) for v in result}) == 2
+
+    def test_trailing_dims_must_agree(self):
+        env, devices = make_ring(2)
+        with pytest.raises(InvalidArgumentError):
+            run_collective(env, ring_allgather(
+                devices, [np.ones((2, 3)), np.ones((2, 4))]))
+
+    def test_scalars_rejected(self):
+        env, devices = make_ring(2)
+        with pytest.raises(InvalidArgumentError):
+            run_collective(env, ring_allgather(
+                devices, [np.float64(1.0), np.float64(2.0)]))
+
+
+class TestBroadcast:
+    def test_all_ranks_receive_root_value(self):
+        env, devices = make_ring(4)
+        value = np.arange(8.0)
+        result, elapsed = run_collective(
+            env, ring_broadcast(devices, value, root=1))
+        assert elapsed > 0
+        for rank_value in result:
+            np.testing.assert_array_equal(rank_value, value)
+        result[0][0] = 99.0
+        assert result[2][0] == 0.0
+
+    def test_pipelining_beats_sequential_root_sends(self):
+        """For large buffers the pipelined ring approaches one buffer
+        traversal instead of the root serializing W - 1 full sends."""
+        world = 8
+        nbytes = 32 * MB
+        env, devices = make_ring(world)
+        value = SymbolicValue((nbytes // 8,), "float64")
+        _, elapsed = run_collective(env, ring_broadcast(devices, value))
+        link = devices[0].node.machine.fabric.effective_rate
+        # Root-serialized lower bound: (W-1) buffers through one NIC.
+        assert elapsed < (world - 1) * nbytes / link
+
+    def test_bad_root_rejected(self):
+        env, devices = make_ring(2)
+        with pytest.raises(InvalidArgumentError):
+            run_collective(env, ring_broadcast(devices, np.ones(2), root=5))
