@@ -20,6 +20,7 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_optimizer.json")
 BENCH_COLLECTIVES_JSON = os.path.join(RESULTS_DIR, "BENCH_collectives.json")
+BENCH_SGD_JSON = os.path.join(RESULTS_DIR, "BENCH_sgd.json")
 
 
 @pytest.fixture(scope="session")
@@ -99,5 +100,24 @@ def record_collective_bench(_collective_bench_records):
 
     def record(name: str, **fields) -> None:
         _collective_bench_records[name] = fields
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def _sgd_bench_records(results_dir):
+    """Accumulator for the training lane (BENCH_sgd.json)."""
+    records: dict = {}
+    yield records
+    _flush_records(BENCH_SGD_JSON, records)
+
+
+@pytest.fixture
+def record_sgd_bench(_sgd_bench_records):
+    """Like ``record_bench``, flushed to ``BENCH_sgd.json`` — the
+    gradient-exchange (ring vs central) trajectory tracked across PRs."""
+
+    def record(name: str, **fields) -> None:
+        _sgd_bench_records[name] = fields
 
     return record

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Training with autodiff: data-parallel SGD over ring collectives.
+
+The missing half of the Horovod argument: PR 3 put ``all_reduce`` in the
+graph, and ``repro.core.gradients`` provides the backward path to hang
+it on. This example first shows the autodiff primitives on a toy loss,
+then runs the full data-parallel scenario of ``repro.apps.sgd`` — every
+simulated worker differentiates its local shard's loss, the gradients
+are summed across ranks (ring allreduce vs the paper's central
+reducer), and every replica applies the identical SGD step.
+
+Run:  python examples/sgd_allreduce.py
+"""
+
+import numpy as np
+
+import repro as tf
+from repro.apps.sgd import make_regression_problem, run_sgd, sgd_reference
+
+
+def toy_autodiff():
+    """tf.gradients + apply_gradients on a single-device loss."""
+    x_data, y_data, _ = make_regression_problem(
+        d=3, rows_per_worker=32, num_workers=1, seed=7)
+
+    g = tf.Graph()
+    with g.as_default():
+        w = tf.Variable(tf.zeros([3], dtype=tf.float64, graph=g), name="w")
+        x = tf.constant(x_data[0], name="X")
+        y = tf.constant(y_data[0], name="y")
+        err = tf.subtract(tf.matmul(x, w.value()), y, name="err")
+        loss = tf.reduce_sum(tf.square(err), name="loss")
+        (grad,) = tf.gradients(loss, w)          # reverse-mode autodiff
+        updates = tf.apply_gradients([(grad, w)],  # w -= lr * grad
+                                     learning_rate=0.01)
+
+    with tf.Session(graph=g) as sess:
+        sess.run(w.initializer)
+        for step in range(5):
+            loss_value, _ = sess.run([loss, updates[0]])
+            print(f"  step {step}: loss {loss_value:8.3f}")
+
+
+def main():
+    print("Toy loss, one device — tf.gradients / tf.apply_gradients:")
+    toy_autodiff()
+
+    workers, d, rows, steps, lr = 4, 64, 16, 20, 0.002
+    print(f"\nData-parallel SGD: {workers} Tegner workers, d={d}, "
+          f"{steps} steps:\n")
+    results = {}
+    for mode in ("collective", "reducer"):
+        results[mode] = run_sgd(
+            system="tegner-k420", d=d, num_workers=workers,
+            rows_per_worker=rows, steps=steps, learning_rate=lr, mode=mode,
+        )
+        r = results[mode]
+        print(f"  {mode:>10}: {r.elapsed * 1e3:7.2f} ms, "
+              f"loss {r.loss_history[0]:.2f} -> {r.loss_history[-1]:.2f}, "
+              f"validated={r.validated}")
+
+    ring, central = results["collective"], results["reducer"]
+    assert all(a.tobytes() == b.tobytes()
+               for a, b in zip(ring.trajectory, central.trajectory)), \
+        "gradient-sync modes must agree bit for bit"
+    print("\n  weight trajectories byte-identical across sync modes")
+
+    traced = run_sgd(system="tegner-k420", d=d, num_workers=workers,
+                     rows_per_worker=rows, steps=steps, learning_rate=lr,
+                     mode="collective", frontend="function")
+    assert traced.weights.tobytes() == ring.weights.tobytes()
+    print(f"  @repro.function frontend agrees too "
+          f"(traced {traced.trace_count}x)")
+
+    x_shards, y_shards, _ = make_regression_problem(d, rows, workers)
+    ref_w, _, _ = sgd_reference(x_shards, y_shards, steps, lr)
+    print(f"  max |graph - numpy reference| = "
+          f"{np.abs(ring.weights - ref_w).max():.2e}")
+
+    # The Horovod argument, quantified: an 8 MB gradient at growing
+    # worker counts (shape-only; the DES clock does the measuring).
+    print("\nScaling the gradient exchange (d=2^20, 8 MB per rank):")
+    for w in (2, 4, 8):
+        common = dict(d=1 << 20, num_workers=w, rows_per_worker=4,
+                      steps=2, shape_only=True)
+        ring_t = run_sgd(mode="collective", **common).elapsed
+        central_t = run_sgd(mode="reducer", **common).elapsed
+        print(f"  W={w}: ring {ring_t * 1e3:7.2f} ms, "
+              f"central {central_t * 1e3:7.2f} ms "
+              f"({central_t / ring_t:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

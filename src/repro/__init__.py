@@ -31,6 +31,12 @@ Quickstart (paper Listing 1)::
 """
 
 from repro import errors
+from repro.core.gradients import (
+    RegisterGradient,
+    apply_gradients,
+    gradients,
+    minimize,
+)
 from repro.core.graph import (
     Graph,
     GraphKeys,
@@ -92,6 +98,10 @@ __all__ = [
     "function",
     "functions_run_eagerly",
     "run_functions_eagerly",
+    "RegisterGradient",
+    "gradients",
+    "apply_gradients",
+    "minimize",
     "device",
     "get_default_graph",
     "reset_default_graph",

@@ -11,6 +11,7 @@ from repro.apps.cg import CGResult, run_cg
 from repro.apps.common import ClusterHandle, build_cluster
 from repro.apps.fft import FFTResult, run_fft
 from repro.apps.matmul import MatmulResult, run_matmul
+from repro.apps.sgd import SGDResult, run_sgd
 from repro.apps.stencil import StencilResult, run_stencil
 from repro.apps.stream import StreamResult, run_stream
 
@@ -27,4 +28,6 @@ __all__ = [
     "FFTResult",
     "run_stencil",
     "StencilResult",
+    "run_sgd",
+    "SGDResult",
 ]

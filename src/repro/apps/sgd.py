@@ -1,0 +1,312 @@
+"""Data-parallel SGD: ring allreduce on the backward path.
+
+The Horovod use case proper, and the training scenario the paper's
+discussion section argues HPC interconnects should serve: every worker
+holds a replica of the model weights and one shard of the data; each
+step it runs the forward pass and reverse-mode autodiff
+(:mod:`repro.core.gradients`) *locally*, then the per-worker gradients
+are summed across all ranks and every replica applies the identical SGD
+update. The gradient exchange — the scalability bottleneck at HPC scale
+— runs through one of two head-to-head mechanisms:
+
+* ``mode="collective"``: graph-level :func:`repro.all_reduce` over the
+  local gradients (and the scalar loss partials). The partitioner
+  lowers both into ring legs over the simulated transports — every link
+  carries ``2(W-1)/W`` of the gradient buffer, no dedicated server.
+* ``mode="reducer"``: the paper's central pattern — gradients stream to
+  the chief task, are summed there, and the total fans back out to
+  every worker through per-worker identities.
+
+Both mechanisms accumulate in rank order starting from zeros, so the
+weight trajectories are **byte-identical**; only the simulated clock
+differs, and the ring wins once the gradient is large enough that the
+chief's NIC serializes ``O(W)`` buffer copies (``benchmarks/
+bench_sgd.py`` quantifies the crossover).
+
+The model is linear regression — ``loss = sum((X_w @ w - y_w)^2)`` per
+shard — which exercises exactly the gradient registry the autodiff
+ships with (MatMul, Sub, Square, Sum). Both frontends run the same
+step builder: ``frontend="session"`` hand-builds the graph and drives
+``Session.run``; ``frontend="function"`` traces the identical builder
+through ``@repro.function``, asserting the trace-once path. Weight
+trajectories are byte-identical across frontends too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+import repro as tf
+from repro.apps.common import (
+    ClusterHandle,
+    build_cluster,
+    session_config,
+    task_device,
+)
+from repro.errors import InvalidArgumentError
+
+__all__ = [
+    "SGDResult",
+    "make_regression_problem",
+    "run_sgd",
+    "sgd_reference",
+]
+
+
+@dataclass
+class SGDResult:
+    """Outcome of one data-parallel SGD configuration."""
+
+    system: str
+    d: int
+    num_workers: int
+    rows_per_worker: int
+    mode: str
+    frontend: str
+    steps: int
+    elapsed: float  # simulated seconds, training loop only
+    loss_history: list = field(default_factory=list)
+    trajectory: list = field(default_factory=list)  # weights after each step
+    weights: Optional[np.ndarray] = None  # final weights (concrete mode)
+    validated: bool = False  # matches the NumPy reference byte for byte
+    plan_items: int = 0
+    trace_count: int = 0  # function frontend only
+
+    @property
+    def seconds_per_step(self) -> float:
+        return self.elapsed / max(self.steps, 1)
+
+
+def make_regression_problem(
+    d: int, rows_per_worker: int, num_workers: int, seed: int = 0,
+    noise: float = 0.1,
+):
+    """A linear-regression instance sharded by rows across workers.
+
+    Returns ``(X_shards, y_shards, w_true)`` with one
+    ``(rows_per_worker, d)`` design block and one target slice per
+    worker, generated as ``y = X @ w_true + noise``.
+    """
+    rng = np.random.default_rng(seed)
+    rows = rows_per_worker * num_workers
+    x = rng.standard_normal((rows, d))
+    w_true = rng.standard_normal(d)
+    y = x @ w_true + noise * rng.standard_normal(rows)
+    x_shards = [x[w * rows_per_worker:(w + 1) * rows_per_worker]
+                for w in range(num_workers)]
+    y_shards = [y[w * rows_per_worker:(w + 1) * rows_per_worker]
+                for w in range(num_workers)]
+    return x_shards, y_shards, w_true
+
+
+def sgd_reference(x_shards, y_shards, steps: int, learning_rate: float):
+    """NumPy reference performing the graph's arithmetic, in its order.
+
+    Per step and per shard (rank order, accumulating from zeros — the
+    collective kernels' canonical order): ``g_w = X_w^T (2 (X_w w - y_w))``
+    and ``l_w = sum((X_w w - y_w)^2)``; then ``w -= lr * sum_w g_w``.
+    Returns ``(weights, loss_history, trajectory)``.
+    """
+    d = x_shards[0].shape[1]
+    w = np.zeros(d)
+    losses, trajectory = [], []
+    for _ in range(steps):
+        total_grad = np.zeros(d)
+        total_loss = np.zeros(())
+        for x_w, y_w in zip(x_shards, y_shards):
+            err = x_w @ w - y_w
+            total_loss = total_loss + np.sum(np.square(err))
+            total_grad = total_grad + x_w.T @ (2.0 * err)
+        w = w - learning_rate * total_grad
+        losses.append(float(total_loss))
+        trajectory.append(w.copy())
+    return w, losses, trajectory
+
+
+def _build_step(num_workers, d, rows, data, learning_rate, mode, devs,
+                chief_device, shape_only):
+    """Build one training step into the current default graph.
+
+    Shared by both frontends (hand-built Session graphs and
+    ``@repro.function`` traces record the identical ops). Returns
+    ``(loss_fetch, updates, w_vars)`` — ``updates`` are the per-worker
+    ``AssignSub`` output tensors from :func:`repro.apply_gradients`.
+    """
+    g = tf.get_default_graph()
+    w_vars, local_grads, loss_partials = [], [], []
+    for w in range(num_workers):
+        with g.device(devs[w]), g.name_scope(f"worker{w}"):
+            w_vars.append(tf.Variable(
+                tf.zeros([d], dtype=tf.float64, graph=g), name="w"))
+            if shape_only:
+                x_w = tf.zeros([rows, d], dtype=tf.float64, graph=g,
+                               name="X")
+                y_w = tf.zeros([rows], dtype=tf.float64, graph=g, name="y")
+            else:
+                x_w = tf.constant(data[0][w], name="X", graph=g)
+                y_w = tf.constant(data[1][w], name="y", graph=g)
+            read = w_vars[w].value()
+            pred = tf.matmul(x_w, read, name="pred")
+            err = tf.subtract(pred, y_w, name="err")
+            loss_partials.append(
+                tf.reduce_sum(tf.square(err), name="loss_partial"))
+            # Reverse-mode autodiff, emitted on this worker's device: the
+            # backward subgraph (2 X^T err) lands where the forward ran.
+            (grad,) = tf.gradients(loss_partials[w], read, name="backward")
+            local_grads.append(grad)
+
+    if mode == "collective":
+        synced_grads = tf.all_reduce(local_grads, name="grad_allreduce")
+        totals = tf.all_reduce(loss_partials, name="loss_allreduce")
+        loss_fetch = totals[0]
+    else:
+        with g.device(chief_device):
+            total_grad = tf.add_n(local_grads, name="grad_total")
+            loss_fetch = tf.add_n(loss_partials, name="loss_total")
+        synced_grads = []
+        for w in range(num_workers):
+            with g.device(devs[w]):
+                synced_grads.append(
+                    tf.identity(total_grad, name=f"grad_echo{w}"))
+
+    updates = tf.apply_gradients(
+        zip(synced_grads, w_vars), learning_rate, name="sgd"
+    )
+    return loss_fetch, updates, w_vars
+
+
+def run_sgd(
+    system: str = "tegner-k420",
+    d: int = 32,
+    num_workers: int = 2,
+    rows_per_worker: int = 16,
+    steps: int = 10,
+    learning_rate: float = 0.005,
+    mode: str = "collective",
+    frontend: str = "session",
+    seed: int = 0,
+    protocol: str = "grpc+verbs",
+    shape_only: bool = False,
+    device_type: str = "cpu",
+    cluster: Optional[ClusterHandle] = None,
+    optimize: Optional[bool] = None,
+) -> SGDResult:
+    """Train the data-parallel linear regression.
+
+    Args:
+        d: feature (= gradient buffer) dimension; the gradient exchange
+            moves ``8 d`` bytes per rank per step.
+        num_workers: data-parallel replicas, one per simulated worker.
+        rows_per_worker: rows of the design matrix per shard.
+        steps: SGD steps to run.
+        mode: ``"collective"`` (ring allreduce graph ops on the backward
+            path) or ``"reducer"`` (central chief-task sum + fan-out).
+        frontend: ``"session"`` (hand-built graph + ``Session.run``
+            loop) or ``"function"`` (the same builder traced once by
+            ``@repro.function`` and dispatched from the trace cache).
+        shape_only: run paper-scale gradients without materializing
+            data (no trajectory/validation; the DES clock still ticks).
+        device_type: where each replica's weights live (default CPU —
+            gradient exchange is bandwidth-bound, and host tensors ride
+            RDMA without the PCIe staging penalty).
+        optimize: force plan-time optimization and the executor fast
+            path on/off together for the A/B benchmark lanes.
+    """
+    if mode not in ("collective", "reducer"):
+        raise InvalidArgumentError(
+            f"mode must be 'collective' or 'reducer', got {mode!r}"
+        )
+    if frontend not in ("session", "function"):
+        raise InvalidArgumentError(
+            f"frontend must be 'session' or 'function', got {frontend!r}"
+        )
+    if steps < 1:
+        raise InvalidArgumentError(f"steps must be >= 1, got {steps}")
+    handle = cluster or build_cluster(
+        system, {"chief": 1, "worker": num_workers}, protocol=protocol
+    )
+    env = handle.env
+    devs = [task_device("worker", w, device_type, 0)
+            for w in range(num_workers)]
+    chief_device = task_device("chief", 0, "cpu", 0)
+    data = (None if shape_only else
+            make_regression_problem(d, rows_per_worker, num_workers, seed)[:2])
+    config = session_config(shape_only=shape_only, optimize=optimize)
+
+    loss_history: list = []
+    trajectory: list = []
+    trace_count = 0
+
+    if frontend == "session":
+        g = tf.Graph()
+        with g.as_default():
+            loss_fetch, updates, w_vars = _build_step(
+                num_workers, d, rows_per_worker, data, learning_rate, mode,
+                devs, chief_device, shape_only,
+            )
+            step_op = tf.group(*[u.op for u in updates], name="train",
+                               graph=g)
+        sess = tf.Session(handle.server("chief", 0), graph=g, config=config)
+        for v in w_vars:
+            sess.run(v.initializer)
+        start = env.now
+        for _ in range(steps):
+            loss, new_w, _ = sess.run([loss_fetch, updates[0], step_op])
+            loss_history.append(loss if shape_only else float(loss))
+            if not shape_only:
+                trajectory.append(np.asarray(new_w).copy())
+        elapsed = env.now - start
+        plan_items = sess.plan_cache_info()["items"]
+    else:
+        def sgd_step():
+            loss_fetch, updates, _ = _build_step(
+                num_workers, d, rows_per_worker, data, learning_rate, mode,
+                devs, chief_device, shape_only,
+            )
+            # The updated worker-0 weights come back as the AssignSub
+            # output; the remaining replicas' updates are auto-fetched
+            # as traced side effects.
+            return loss_fetch, updates[0]
+
+        step = tf.function(sgd_step, name="sgd_step",
+                           target=handle.server("chief", 0), config=config)
+        start = env.now
+        for _ in range(steps):
+            loss, new_w = step()
+            loss_history.append(loss if shape_only else float(loss))
+            if not shape_only:
+                trajectory.append(np.asarray(new_w).copy())
+        elapsed = env.now - start
+        trace_count = step.trace_count
+        plan_items = step.session.plan_cache_info()["items"]
+
+    weights = None
+    validated = False
+    if not shape_only:
+        weights = trajectory[-1]
+        _, ref_losses, ref_traj = sgd_reference(
+            data[0], data[1], steps, learning_rate
+        )
+        validated = bool(
+            np.array_equal(weights, ref_traj[-1])
+            and loss_history == ref_losses
+        )
+    return SGDResult(
+        system=system,
+        d=d,
+        num_workers=num_workers,
+        rows_per_worker=rows_per_worker,
+        mode=mode,
+        frontend=frontend,
+        steps=steps,
+        elapsed=elapsed,
+        loss_history=loss_history,
+        trajectory=trajectory,
+        weights=weights,
+        validated=validated,
+        plan_items=plan_items,
+        trace_count=trace_count,
+    )

@@ -90,9 +90,21 @@ def all_reduce(
         values: per-rank addends of equal shape and dtype (the rank order
             is the ring order).
         devices: optional explicit per-rank device strings; by default
-            each rank's leg colocates with its input's producer.
+            each rank's leg colocates with its input's producer — for
+            chained collectives, with the upstream *leg* feeding it.
         protocol: bulk transport override for the ring traffic (defaults
             to the session's data protocol).
+
+    Returns:
+        One tensor per rank holding the full sum, colocated with that
+        rank's leg. Concrete values accumulate in rank order starting
+        from zeros in every frontend, so results are byte-identical
+        whether the op runs eagerly, traced, or ring-lowered.
+
+    Not differentiable: ``repro.gradients`` raises if asked to
+    differentiate *through* a collective. Sum per-rank gradients by
+    calling ``all_reduce`` on the ``gradients()`` outputs instead (the
+    Horovod pattern; see ``repro.apps.sgd``).
     """
     tensors = _rank_tensors(values, "all_reduce")
     shape = tensors[0].shape
@@ -114,7 +126,21 @@ def all_gather(
     protocol: Optional[str] = None,
     name: str = "CollectiveAllGather",
 ) -> list[Tensor]:
-    """Allgather per-rank tensors (concatenated along axis 0) to every rank."""
+    """Allgather per-rank tensors (concatenated along axis 0) to every rank.
+
+    Args:
+        values: per-rank blocks of rank >= 1, equal dtype and trailing
+            dims (leading dims may differ — uneven blocks are fine; the
+            rank order is the concatenation and ring order).
+        devices: optional explicit per-rank device strings; by default
+            each rank's leg colocates with its input's producer.
+        protocol: bulk transport override for the ring traffic.
+
+    Returns:
+        One tensor per rank holding the full axis-0 concatenation,
+        colocated with that rank's leg. Like :func:`all_reduce`, not
+        differentiable — gather forward values, not gradients.
+    """
     tensors = _rank_tensors(values, "all_gather")
     lead: Optional[int] = 0
     trailing: Optional[TensorShape] = None
@@ -155,10 +181,20 @@ def broadcast(
     """Broadcast ``value`` (rank 0, the root) to ``world`` ranks.
 
     One of ``world``/``devices`` must be given; with ``devices`` the root
-    is ``devices[0]`` and every rank's copy lands on its device. Under a
-    Session, ``world > 1`` requires the explicit ``devices`` list — the
-    partitioner cannot infer non-root placement from the single input
-    (eager execution accepts bare ``world``: there is no placement).
+    is ``devices[0]`` and every rank's copy lands on its device.
+
+    Placement constraint: under a Session, ``world > 1`` **requires**
+    the explicit ``devices=`` list. Unlike :func:`all_reduce` /
+    :func:`all_gather` — one input per rank, so every leg has a
+    producer to colocate with — a broadcast has a single input, and
+    colocating all legs with the root would silently model a ``W``-way
+    broadcast as zero communication. The partitioner raises with that
+    fix spelled out (pass ``devices=[...]``, or colocate inputs by
+    expressing the exchange through the all-rank collectives). Eager
+    execution accepts a bare ``world=``: there is no placement.
+
+    Returns:
+        ``world`` copies of ``value``, one per rank.
     """
     if devices is not None:
         if world is not None and world != len(devices):

@@ -46,8 +46,10 @@ def broadcast_static_shapes(a: TensorShape, b: TensorShape) -> TensorShape:
         return TensorShape(None)
     ra, rb = len(a.dims), len(b.dims)
     rank = max(ra, rb)
-    dims_a = (None,) * (rank - ra) + a.dims
-    dims_b = (None,) * (rank - rb) + b.dims
+    # Missing leading dimensions broadcast as size 1 (NumPy semantics),
+    # so the result dim is the other side's — statically known or not.
+    dims_a = (1,) * (rank - ra) + a.dims
+    dims_b = (1,) * (rank - rb) + b.dims
     out = []
     for da, db in zip(dims_a, dims_b):
         if da == 1:

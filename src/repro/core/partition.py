@@ -310,8 +310,13 @@ def build_plan(
             # leg with the root would silently model a W-way broadcast as
             # zero communication.
             raise InvalidArgumentError(
-                f"{op.name}: a broadcast with world > 1 under a Session "
-                f"needs an explicit devices= list"
+                f"{op.name}: a broadcast with world={world} > 1 under a "
+                f"Session needs explicit placement for its non-root legs. "
+                f"Fix: pass devices=[...] (one device per rank) to "
+                f"repro.broadcast, or colocate inputs — express the "
+                f"exchange through all_reduce/all_gather, whose per-rank "
+                f"inputs give every leg a producer to colocate with. "
+                f"(Eager execution accepts a bare world=: no placement.)"
             )
         legs = []
         for rank in range(world):

@@ -395,9 +395,22 @@ def function(
     Usable bare (``@repro.function``) or parameterized
     (``@repro.function(input_signature=[...], target=server)``).
 
+    Each distinct call signature (argument dtypes + static shapes) is
+    traced exactly once: tensor-like arguments become placeholders,
+    ``with repro.device(...)`` blocks annotate placement, ``Variable``\\ s
+    created during the trace persist across calls (their initializers
+    run lazily before the first step, never per call), and unconsumed
+    stateful ops — assignments, queue traffic, ``gradients``-built
+    update chains — are auto-fetched so traced side effects survive
+    pruning. Repeat calls dispatch from the ConcreteFunction cache
+    through one shared Session, so graph optimization, plan caching,
+    collectives lowering and RunMetadata all apply to imperative code.
+
     Args:
+        fn: the Python function, when used as a bare decorator.
         input_signature: optional list of :class:`TensorSpec` pinning one
-            trace for all compatible calls.
+            trace for all compatible calls (e.g. ``TensorSpec([None],
+            float64)`` accepts any length without retracing).
         name: scope name for traces (defaults to the function name).
         seed: graph-level RNG seed for ops recorded in traces.
         target/machine/env/config: forwarded to the lazily-created
@@ -405,6 +418,13 @@ def function(
             can dispatch onto a simulated cluster server with multi-job
             placement, custom hardware, or a shared simulation
             environment.
+
+    Returns:
+        A :class:`TracedFunction`. Call it with concrete values;
+        ``options=``/``run_metadata=`` keywords forward to the
+        underlying run. Introspect with ``.trace_count``,
+        ``.cache_info()``, ``.get_concrete_function(...)`` and
+        ``.session``.
     """
     def wrap(python_function: Callable) -> TracedFunction:
         return TracedFunction(

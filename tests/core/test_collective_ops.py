@@ -282,13 +282,17 @@ class TestGraphSemantics:
 
     def test_broadcast_without_devices_rejected_under_session(self):
         """world > 1 with no devices= would silently colocate every leg
-        with the root and model the broadcast as zero communication."""
+        with the root and model the broadcast as zero communication —
+        and the error must name the fix, not just the constraint."""
         g = tf.Graph()
         with g.as_default():
             outs = tf.broadcast(tf.constant(np.ones(4)), world=3)
         with tf.Session(graph=g) as sess:
-            with pytest.raises(InvalidArgumentError):
+            with pytest.raises(InvalidArgumentError) as excinfo:
                 sess.run(outs)
+        message = str(excinfo.value)
+        assert "devices=[...]" in message
+        assert "colocate inputs" in message
 
     def test_broadcast_world_devices_contradiction_rejected(self):
         g = tf.Graph()

@@ -1,0 +1,376 @@
+"""Reverse-mode autodiff: finite-difference checks and error contracts."""
+
+import numpy as np
+import pytest
+
+import repro as tf
+from repro.core.gradients import registered_gradient_op_types
+from repro.errors import InvalidArgumentError
+
+
+def _finite_difference(loss_fn, inputs, index, eps=1e-6):
+    """Central-difference d loss / d inputs[index], elementwise."""
+    base = [np.array(v, dtype=np.float64) for v in inputs]
+    grad = np.zeros_like(base[index])
+    for idx in np.ndindex(base[index].shape or (1,)):
+        if not base[index].shape:
+            idx = ()
+        plus = [v.copy() for v in base]
+        minus = [v.copy() for v in base]
+        plus[index][idx] += eps
+        minus[index][idx] -= eps
+        grad[idx] = (loss_fn(plus) - loss_fn(minus)) / (2 * eps)
+        if not base[index].shape:
+            break
+    return grad
+
+
+def check_gradients(build, shapes, positive=False, seed=0, atol=1e-5):
+    """Compare tf.gradients against finite differences of the session run.
+
+    ``build`` maps placeholders to a tensor; non-scalar outputs are
+    summed into the loss (the extra Sum rides the same machinery).
+    """
+    rng = np.random.default_rng(seed)
+    values = [rng.standard_normal(s) for s in shapes]
+    if positive:
+        values = [np.abs(v) + 0.5 for v in values]
+
+    g = tf.Graph()
+    with g.as_default():
+        phs = [tf.placeholder(tf.float64, shape=list(s), name=f"in{i}")
+               for i, s in enumerate(shapes)]
+        out = build(*phs)
+        loss = out if out.shape.rank == 0 else tf.reduce_sum(out, name="to_scalar")
+        grads = tf.gradients(loss, phs)
+    sess = tf.Session(graph=g)
+
+    def loss_fn(concrete):
+        return float(sess.run(loss, feed_dict=dict(zip(phs, concrete))))
+
+    feeds = dict(zip(phs, values))
+    for i, grad_t in enumerate(grads):
+        assert grad_t is not None, f"no gradient for input {i}"
+        analytic = np.asarray(sess.run(grad_t, feed_dict=feeds))
+        numeric = _finite_difference(loss_fn, values, i)
+        np.testing.assert_allclose(analytic, numeric, atol=atol,
+                                   err_msg=f"input {i}")
+
+
+# One finite-difference case per registered gradient (several per op
+# where attrs change the formula). ``test_registry_fully_covered``
+# asserts this table keeps up with the registry.
+CASES = {
+    "Identity": [(lambda x: tf.identity(x), [(2, 3)], False)],
+    "Reshape": [(lambda x: tf.square(tf.reshape(x, [6])), [(2, 3)], False)],
+    "Add": [
+        (lambda x, y: tf.square(tf.add(x, y)), [(2, 3), (2, 3)], False),
+        (lambda x, y: tf.square(tf.add(x, y)), [(2, 3), (3,)], False),
+        (lambda x, y: tf.square(tf.add(x, y)), [(2, 3), ()], False),
+    ],
+    "Sub": [
+        (lambda x, y: tf.square(tf.subtract(x, y)), [(2, 3), (2, 3)], False),
+        (lambda x, y: tf.square(tf.subtract(x, y)), [(), (2, 3)], False),
+    ],
+    "Mul": [
+        (lambda x, y: tf.multiply(x, y), [(2, 3), (2, 3)], False),
+        (lambda x, y: tf.multiply(x, y), [(2, 3), (3,)], False),
+    ],
+    "Div": [
+        (lambda x, y: tf.divide(x, y), [(2, 3), (2, 3)], True),
+        (lambda x, y: tf.divide(x, y), [(3,), ()], True),
+    ],
+    "Neg": [(lambda x: tf.square(tf.negative(x)), [(4,)], False)],
+    "Square": [(lambda x: tf.square(x), [(2, 3)], False)],
+    "Sqrt": [(lambda x: tf.sqrt(x), [(2, 3)], True)],
+    "AddN": [
+        # Repeated argument: contributions must accumulate.
+        (lambda x, y: tf.square(tf.add_n([x, y, x])), [(3,), (3,)], False),
+    ],
+    "Dot": [(lambda x, y: tf.dot(x, y), [(4,), (4,)], False)],
+    "MatMul": [
+        (lambda a, b: tf.matmul(a, b), [(2, 3), (3, 4)], False),
+        (lambda a, b: tf.matmul(a, b, transpose_a=True), [(3, 2), (3, 4)], False),
+        (lambda a, b: tf.matmul(a, b, transpose_b=True), [(2, 3), (4, 3)], False),
+        (lambda a, b: tf.matmul(a, b, transpose_a=True, transpose_b=True),
+         [(3, 2), (4, 3)], False),
+        # matrix x vector, both orientations
+        (lambda a, b: tf.square(tf.matmul(a, b)), [(2, 3), (3,)], False),
+        (lambda a, b: tf.square(tf.matmul(a, b, transpose_a=True)),
+         [(3, 2), (3,)], False),
+    ],
+    "Sum": [
+        (lambda x: tf.square(tf.reduce_sum(x)), [(2, 3)], False),
+        (lambda x: tf.square(tf.reduce_sum(x, axis=0)), [(2, 3)], False),
+        (lambda x: tf.square(tf.reduce_sum(x, axis=(1,), keepdims=True)),
+         [(2, 3)], False),
+    ],
+    "Mean": [
+        (lambda x: tf.square(tf.reduce_mean(x)), [(2, 3)], False),
+        (lambda x: tf.square(tf.reduce_mean(x, axis=1)), [(2, 3)], False),
+        (lambda x: tf.square(tf.reduce_mean(x, axis=0, keepdims=True)),
+         [(2, 3)], False),
+    ],
+}
+
+
+class TestFiniteDifference:
+    @pytest.mark.parametrize(
+        "build,shapes,positive",
+        [case for cases in CASES.values() for case in cases],
+    )
+    def test_matches_numeric_gradient(self, build, shapes, positive):
+        check_gradients(build, shapes, positive=positive)
+
+    def test_registry_fully_covered(self):
+        """Every registered gradient has a finite-difference case."""
+        assert set(CASES) == set(registered_gradient_op_types())
+
+    def test_composite_chain(self):
+        check_gradients(
+            lambda a, b, c: tf.reduce_mean(
+                tf.square(tf.subtract(tf.matmul(a, b), c))),
+            [(3, 2), (2,), (3,)],
+        )
+
+
+class TestBackwardWalk:
+    def test_disconnected_input_gets_none(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [3], name="x")
+            z = tf.placeholder(tf.float64, [3], name="z")
+            loss = tf.reduce_sum(tf.square(x))
+            gx, gz = tf.gradients(loss, [x, z])
+        assert gx is not None and gz is None
+
+    def test_fanout_accumulates(self):
+        """x used twice: d(x*x)/dx = 2x via two accumulated paths."""
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [3], name="x")
+            loss = tf.reduce_sum(tf.multiply(x, x))
+            (gx,) = tf.gradients(loss, x)
+        sess = tf.Session(graph=g)
+        v = np.array([1.0, -2.0, 3.0])
+        np.testing.assert_allclose(sess.run(gx, feed_dict={x: v}), 2 * v)
+
+    def test_grad_ys_seed(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [3], name="x")
+            y = tf.square(x)
+            (gx,) = tf.gradients(y, x, grad_ys=np.array([1.0, 2.0, 3.0]))
+        sess = tf.Session(graph=g)
+        v = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(
+            sess.run(gx, feed_dict={x: v}), 2 * v * np.array([1.0, 2.0, 3.0])
+        )
+
+    def test_variables_as_xs(self):
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([2.0, 3.0]), name="w")
+            loss = tf.reduce_sum(tf.square(w.value()))
+            (gw,) = tf.gradients(loss, w)
+        sess = tf.Session(graph=g)
+        sess.run(w.initializer)
+        np.testing.assert_allclose(sess.run(gw), [4.0, 6.0])
+
+    def test_constant_data_branch_needs_no_gradient(self):
+        """Ops feeding the loss but independent of xs (e.g. a Concat of
+        constant data) must not require registered gradients."""
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [4], name="x")
+            data = tf.concat(
+                [tf.constant(np.ones(2)), tf.constant(np.zeros(2))], axis=0
+            )  # Concat has no gradient; it only touches constants
+            loss = tf.reduce_sum(tf.multiply(x, data))
+            (gx,) = tf.gradients(loss, x)
+        sess = tf.Session(graph=g)
+        np.testing.assert_allclose(
+            sess.run(gx, feed_dict={x: np.zeros(4)}), [1, 1, 0, 0]
+        )
+
+    def test_stops_at_xs_without_differentiating_their_producer(self):
+        """Gradients with respect to a non-differentiable op's *output*
+        are fine: accumulation stops at the x tensor itself."""
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.placeholder(tf.float64, [3], name="a")
+            b = tf.placeholder(tf.float64, [3], name="b")
+            total = tf.all_reduce([a, b])[0]  # not differentiable through
+            loss = tf.reduce_sum(tf.square(total))
+            (gt,) = tf.gradients(loss, total)  # ...but d loss/d total is
+        sess = tf.Session(graph=g)
+        feed = {a: np.array([1.0, 2.0, 3.0]), b: np.array([1.0, 1.0, 1.0])}
+        np.testing.assert_allclose(
+            sess.run(gt, feed_dict=feed), 2 * np.array([2.0, 3.0, 4.0]))
+
+    def test_intermediate_x_accumulates_without_dead_backward_ops(self):
+        """An x produced by a differentiable op: the walk stops at x (no
+        gradient subgraph is emitted for its producer)."""
+        g = tf.Graph()
+        with g.as_default():
+            p = tf.placeholder(tf.float64, [2], name="p")
+            mid = tf.sqrt(p, name="mid")
+            loss = tf.reduce_sum(tf.square(mid))
+            ops_before = len(g.operations)
+            (gmid,) = tf.gradients(loss, mid)
+            emitted = [op.type for op in g.operations[ops_before:]]
+        # The Sqrt gradient would emit a Div; stopping at mid must not.
+        assert "Div" not in emitted
+        sess = tf.Session(graph=g)
+        v = np.array([4.0, 9.0])
+        np.testing.assert_allclose(
+            sess.run(gmid, feed_dict={p: v}), 2 * np.sqrt(v))
+
+    def test_deep_chains_do_not_recurse(self):
+        """The backward walk is iterative: graphs deeper than Python's
+        recursion limit must differentiate fine."""
+        depth = 1500
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [2], name="x")
+            t = x
+            for _ in range(depth):
+                t = tf.identity(t)
+            (gx,) = tf.gradients(tf.reduce_sum(t), x)
+        sess = tf.Session(graph=g)
+        np.testing.assert_allclose(
+            sess.run(gx, feed_dict={x: np.zeros(2)}), [1.0, 1.0])
+
+    def test_works_inside_traced_function(self):
+        @tf.function
+        def value_and_grad(x):
+            xt = tf.identity(x)
+            loss = tf.reduce_sum(tf.square(xt))
+            (gx,) = tf.gradients(loss, xt)
+            return loss, gx
+
+        v = np.array([1.0, -2.0])
+        loss, grad = value_and_grad(v)
+        assert float(loss) == pytest.approx(5.0)
+        np.testing.assert_allclose(grad, 2 * v)
+        assert value_and_grad.trace_count == 1
+
+
+class TestErrors:
+    def test_collective_is_not_differentiable(self):
+        """The regression contract: a clear error, never a KeyError."""
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.placeholder(tf.float64, [4], name="a")
+            b = tf.placeholder(tf.float64, [4], name="b")
+            totals = tf.all_reduce([a, b])
+            loss = tf.reduce_sum(totals[0])
+            with pytest.raises(InvalidArgumentError) as excinfo:
+                tf.gradients(loss, a)
+        message = str(excinfo.value)
+        assert "not differentiable" in message
+        assert "all_reduce" in message  # names the supported pattern
+        assert not isinstance(excinfo.value, KeyError)
+
+    def test_unregistered_op_names_the_registry(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [4], name="x")
+            y = tf.concat([x, x], axis=0)
+            with pytest.raises(InvalidArgumentError) as excinfo:
+                tf.gradients(tf.reduce_sum(y), x)
+        assert "RegisterGradient" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            tf.RegisterGradient("MatMul")
+
+    def test_mixed_graphs_rejected(self):
+        g1, g2 = tf.Graph(), tf.Graph()
+        with g1.as_default():
+            x = tf.placeholder(tf.float64, [2], name="x")
+        with g2.as_default():
+            y = tf.placeholder(tf.float64, [2], name="y")
+        with pytest.raises(InvalidArgumentError):
+            tf.gradients(tf.reduce_sum(y), x)
+
+    def test_scalar_grad_ys_accepted(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [2], name="x")
+            (gx,) = tf.gradients(tf.square(x), x, grad_ys=2.0)
+        sess = tf.Session(graph=g)
+        v = np.array([1.0, -3.0])
+        np.testing.assert_allclose(sess.run(gx, feed_dict={x: v}), 4 * v)
+
+    def test_bad_grad_ys_rejected(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [2], name="x")
+            y = tf.square(x)
+            with pytest.raises(InvalidArgumentError):
+                tf.gradients(y, x, grad_ys=object())
+
+    def test_grad_ys_length_mismatch(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [2], name="x")
+            y = tf.square(x)
+            with pytest.raises(InvalidArgumentError):
+                tf.gradients([y], [x], grad_ys=[None, None])
+
+
+class TestApplyGradients:
+    def test_sgd_update(self):
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([1.0, 2.0]), name="w")
+            loss = tf.reduce_sum(tf.square(w.value()))
+            (gw,) = tf.gradients(loss, w)
+            updates = tf.apply_gradients([(gw, w)], learning_rate=0.25)
+        sess = tf.Session(graph=g)
+        sess.run(w.initializer)
+        new_w = sess.run(updates[0])
+        # w - 0.25 * 2w = 0.5 w
+        np.testing.assert_allclose(new_w, [0.5, 1.0])
+        np.testing.assert_allclose(sess.run(w.value()), [0.5, 1.0])
+
+    def test_none_gradients_skipped(self):
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([1.0]), name="w")
+            v = tf.Variable(np.array([5.0]), name="v")
+            loss = tf.reduce_sum(tf.square(w.value()))
+            grads = tf.gradients(loss, [w, v])
+            updates = tf.apply_gradients(zip(grads, [w, v]), 0.1)
+        assert len(updates) == 1  # v untouched
+
+    def test_all_none_rejected(self):
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([1.0]), name="w")
+            with pytest.raises(InvalidArgumentError):
+                tf.apply_gradients([(None, w)], 0.1)
+
+    def test_non_variable_rejected(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float64, [1], name="x")
+            with pytest.raises(InvalidArgumentError):
+                tf.apply_gradients([(x, x)], 0.1)
+
+    def test_minimize_groups_everything(self):
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([3.0]), name="w")
+            b = tf.Variable(np.array([1.0]), name="b")
+            pred = tf.add(w.value(), b.value())
+            loss = tf.reduce_sum(tf.square(pred))
+            train = tf.minimize(loss, [w, b], learning_rate=0.1)
+        sess = tf.Session(graph=g)
+        sess.run(w.initializer)
+        sess.run(b.initializer)
+        sess.run(train)
+        # d loss / dw = d loss / db = 2 (w + b) = 8
+        np.testing.assert_allclose(sess.run(w.value()), [2.2])
+        np.testing.assert_allclose(sess.run(b.value()), [0.2])
