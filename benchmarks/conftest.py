@@ -21,6 +21,9 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_optimizer.json")
 BENCH_COLLECTIVES_JSON = os.path.join(RESULTS_DIR, "BENCH_collectives.json")
 BENCH_SGD_JSON = os.path.join(RESULTS_DIR, "BENCH_sgd.json")
+BENCH_COLLECTIVE_ALGOS_JSON = os.path.join(
+    RESULTS_DIR, "BENCH_collective_algos.json"
+)
 
 
 @pytest.fixture(scope="session")
@@ -119,5 +122,25 @@ def record_sgd_bench(_sgd_bench_records):
 
     def record(name: str, **fields) -> None:
         _sgd_bench_records[name] = fields
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def _collective_algos_records(results_dir):
+    """Accumulator for the algorithm lane (BENCH_collective_algos.json)."""
+    records: dict = {}
+    yield records
+    _flush_records(BENCH_COLLECTIVE_ALGOS_JSON, records)
+
+
+@pytest.fixture
+def record_collective_algos_bench(_collective_algos_records):
+    """Like ``record_bench``, flushed to ``BENCH_collective_algos.json``
+    — the ring-vs-tree crossover and gradient-bucket fusion trajectory
+    tracked across PRs."""
+
+    def record(name: str, **fields) -> None:
+        _collective_algos_records[name] = fields
 
     return record

@@ -25,11 +25,22 @@ bench_sgd.py`` quantifies the crossover).
 
 The model is linear regression — ``loss = sum((X_w @ w - y_w)^2)`` per
 shard — which exercises exactly the gradient registry the autodiff
-ships with (MatMul, Sub, Square, Sum). Both frontends run the same
-step builder: ``frontend="session"`` hand-builds the graph and drives
-``Session.run``; ``frontend="function"`` traces the identical builder
-through ``@repro.function``, asserting the trace-once path. Weight
-trajectories are byte-identical across frontends too.
+ships with (MatMul, Sub, Square, Sum). With ``blocks > 1`` the feature
+dimension splits into per-layer weight blocks plus a scalar bias, so
+one step emits ``blocks + 1`` *small* gradients and their allreduces —
+the many-small-tensors regime Horovod's tensor fusion exists for; the
+opt-in ``fusion=`` knob turns on the plan-time gradient-bucket fusion
+pass (``repro.core.optimizer.collective_fusion``), and ``algorithm=``
+selects the collective schedule (``"auto"``/``"ring"``/``"tree"``).
+``momentum=`` applies classic momentum through per-variable slot state.
+All knobs preserve byte-identical weight trajectories; they only move
+the simulated clock.
+
+Both frontends run the same step builder: ``frontend="session"``
+hand-builds the graph and drives ``Session.run``;
+``frontend="function"`` traces the identical builder through
+``@repro.function``, asserting the trace-once path. Weight trajectories
+are byte-identical across frontends too.
 """
 
 from __future__ import annotations
@@ -68,12 +79,23 @@ class SGDResult:
     frontend: str
     steps: int
     elapsed: float  # simulated seconds, training loop only
+    blocks: int = 1
+    momentum: float = 0.0
+    algorithm: str = "auto"
+    fused: bool = False  # collective fusion pass enabled
     loss_history: list = field(default_factory=list)
-    trajectory: list = field(default_factory=list)  # weights after each step
+    # Concatenated parameter vector (all weight blocks, then the bias
+    # when blocks > 1) after each step.
+    trajectory: list = field(default_factory=list)
     weights: Optional[np.ndarray] = None  # final weights (concrete mode)
     validated: bool = False  # matches the NumPy reference byte for byte
     plan_items: int = 0
     trace_count: int = 0  # function frontend only
+    # Plan diagnostics captured from the first training step (session
+    # frontend): optimizer pass statistics and the lowering's per-op
+    # algorithm decisions.
+    pass_stats: list = field(default_factory=list)
+    collective_algorithms: dict = field(default_factory=dict)
 
     @property
     def seconds_per_step(self) -> float:
@@ -102,45 +124,100 @@ def make_regression_problem(
     return x_shards, y_shards, w_true
 
 
-def sgd_reference(x_shards, y_shards, steps: int, learning_rate: float):
+def sgd_reference(x_shards, y_shards, steps: int, learning_rate: float,
+                  blocks: int = 1, momentum: float = 0.0):
     """NumPy reference performing the graph's arithmetic, in its order.
 
     Per step and per shard (rank order, accumulating from zeros — the
     collective kernels' canonical order): ``g_w = X_w^T (2 (X_w w - y_w))``
-    and ``l_w = sum((X_w w - y_w)^2)``; then ``w -= lr * sum_w g_w``.
-    Returns ``(weights, loss_history, trajectory)``.
+    and ``l_w = sum((X_w w - y_w)^2)``; then ``w -= lr * sum_w g_w``
+    (through the velocity slot when ``momentum > 0``). With
+    ``blocks > 1`` the features split into per-layer weight blocks plus
+    a scalar bias, mirroring the graph's block-wise prediction chain.
+    Returns ``(weights, loss_history, trajectory)`` with weights/
+    trajectory entries as the concatenated parameter vector.
     """
     d = x_shards[0].shape[1]
-    w = np.zeros(d)
+    if blocks == 1:
+        params = [np.zeros(d)]
+        bs = d
+    else:
+        bs = d // blocks
+        params = [np.zeros(bs) for _ in range(blocks)]
+        params.append(np.zeros(()))
+    velocities = [np.zeros_like(p) for p in params]
     losses, trajectory = [], []
     for _ in range(steps):
-        total_grad = np.zeros(d)
+        total_grads = [np.zeros_like(p) for p in params]
         total_loss = np.zeros(())
         for x_w, y_w in zip(x_shards, y_shards):
-            err = x_w @ w - y_w
+            pred = x_w[:, 0:bs] @ params[0] if blocks > 1 else x_w @ params[0]
+            for k in range(1, blocks):
+                pred = pred + x_w[:, k * bs:(k + 1) * bs] @ params[k]
+            if blocks > 1:
+                pred = pred + params[-1]
+            err = pred - y_w
             total_loss = total_loss + np.sum(np.square(err))
-            total_grad = total_grad + x_w.T @ (2.0 * err)
-        w = w - learning_rate * total_grad
+            seed = 2.0 * err
+            for k in range(blocks):
+                x_k = x_w[:, k * bs:(k + 1) * bs] if blocks > 1 else x_w
+                total_grads[k] = total_grads[k] + x_k.T @ seed
+            if blocks > 1:
+                total_grads[-1] = total_grads[-1] + np.sum(seed)
+        for p in range(len(params)):
+            if momentum:
+                velocities[p] = momentum * velocities[p] + total_grads[p]
+                step_value = velocities[p]
+            else:
+                step_value = total_grads[p]
+            params[p] = params[p] - learning_rate * step_value
         losses.append(float(total_loss))
-        trajectory.append(w.copy())
-    return w, losses, trajectory
+        trajectory.append(
+            np.concatenate([np.reshape(p, -1) for p in params])
+        )
+    return trajectory[-1] if trajectory else np.concatenate(
+        [np.reshape(p, -1) for p in params]
+    ), losses, trajectory
 
 
 def _build_step(num_workers, d, rows, data, learning_rate, mode, devs,
-                chief_device, shape_only):
+                chief_device, shape_only, blocks=1, momentum=0.0,
+                algorithm="auto"):
     """Build one training step into the current default graph.
 
     Shared by both frontends (hand-built Session graphs and
     ``@repro.function`` traces record the identical ops). Returns
-    ``(loss_fetch, updates, w_vars)`` — ``updates`` are the per-worker
-    ``AssignSub`` output tensors from :func:`repro.apply_gradients`.
+    ``(loss_fetch, updates, variables, num_params)`` — ``updates`` are
+    the ``AssignSub`` output tensors from :func:`repro.apply_gradients`,
+    worker-major (the first ``num_params`` entries are worker 0's).
+
+    With ``blocks == 1`` the model is the single weight vector; with
+    ``blocks > 1`` each worker holds ``blocks`` per-layer weight blocks
+    plus a scalar bias, and each parameter gets its own gradient
+    exchange — the many-small-collectives workload the fusion pass
+    buckets.
     """
     g = tf.get_default_graph()
-    w_vars, local_grads, loss_partials = [], [], []
+    if blocks < 1 or d % blocks != 0:
+        raise InvalidArgumentError(
+            f"blocks must be >= 1 and divide d: got blocks={blocks}, d={d}"
+        )
+    bs = d // blocks
+    all_vars, local_grads, loss_partials = [], [], []
     for w in range(num_workers):
         with g.device(devs[w]), g.name_scope(f"worker{w}"):
-            w_vars.append(tf.Variable(
-                tf.zeros([d], dtype=tf.float64, graph=g), name="w"))
+            if blocks == 1:
+                params = [tf.Variable(
+                    tf.zeros([d], dtype=tf.float64, graph=g), name="w")]
+            else:
+                params = [
+                    tf.Variable(tf.zeros([bs], dtype=tf.float64, graph=g),
+                                name=f"w{k}")
+                    for k in range(blocks)
+                ]
+                params.append(tf.Variable(
+                    tf.zeros([], dtype=tf.float64, graph=g), name="b"))
+            all_vars.append(params)
             if shape_only:
                 x_w = tf.zeros([rows, d], dtype=tf.float64, graph=g,
                                name="X")
@@ -148,34 +225,73 @@ def _build_step(num_workers, d, rows, data, learning_rate, mode, devs,
             else:
                 x_w = tf.constant(data[0][w], name="X", graph=g)
                 y_w = tf.constant(data[1][w], name="y", graph=g)
-            read = w_vars[w].value()
-            pred = tf.matmul(x_w, read, name="pred")
+            reads = [p.value() for p in params]
+            if blocks == 1:
+                pred = tf.matmul(x_w, reads[0], name="pred")
+            else:
+                pred = tf.matmul(
+                    tf.slice_(x_w, [0, 0], [rows, bs], name="x0"),
+                    reads[0], name="pred0")
+                for k in range(1, blocks):
+                    part = tf.matmul(
+                        tf.slice_(x_w, [0, k * bs], [rows, bs],
+                                  name=f"x{k}"),
+                        reads[k], name=f"pred{k}")
+                    pred = tf.add(pred, part, name=f"acc{k}")
+                pred = tf.add(pred, reads[-1], name="biased")
             err = tf.subtract(pred, y_w, name="err")
             loss_partials.append(
                 tf.reduce_sum(tf.square(err), name="loss_partial"))
             # Reverse-mode autodiff, emitted on this worker's device: the
-            # backward subgraph (2 X^T err) lands where the forward ran.
-            (grad,) = tf.gradients(loss_partials[w], read, name="backward")
-            local_grads.append(grad)
+            # backward subgraph (2 X^T err per block) lands where the
+            # forward ran.
+            local_grads.append(
+                tf.gradients(loss_partials[w], reads, name="backward"))
 
+    num_params = len(all_vars[0])
     if mode == "collective":
-        synced_grads = tf.all_reduce(local_grads, name="grad_allreduce")
-        totals = tf.all_reduce(loss_partials, name="loss_allreduce")
+        synced_per_param = []
+        for p in range(num_params):
+            synced_per_param.append(tf.all_reduce(
+                [local_grads[w][p] for w in range(num_workers)],
+                algorithm=algorithm,
+                name=f"grad_allreduce{p}" if num_params > 1
+                else "grad_allreduce",
+            ))
+        totals = tf.all_reduce(loss_partials, algorithm=algorithm,
+                               name="loss_allreduce")
         loss_fetch = totals[0]
+        synced = [
+            [synced_per_param[p][w] for p in range(num_params)]
+            for w in range(num_workers)
+        ]
     else:
         with g.device(chief_device):
-            total_grad = tf.add_n(local_grads, name="grad_total")
+            total_grads = [
+                tf.add_n([local_grads[w][p] for w in range(num_workers)],
+                         name=f"grad_total{p}" if num_params > 1
+                         else "grad_total")
+                for p in range(num_params)
+            ]
             loss_fetch = tf.add_n(loss_partials, name="loss_total")
-        synced_grads = []
+        synced = []
         for w in range(num_workers):
             with g.device(devs[w]):
-                synced_grads.append(
-                    tf.identity(total_grad, name=f"grad_echo{w}"))
+                synced.append([
+                    tf.identity(total_grads[p],
+                                name=f"grad_echo{w}_{p}" if num_params > 1
+                                else f"grad_echo{w}")
+                    for p in range(num_params)
+                ])
 
-    updates = tf.apply_gradients(
-        zip(synced_grads, w_vars), learning_rate, name="sgd"
-    )
-    return loss_fetch, updates, w_vars
+    pairs = [
+        (synced[w][p], all_vars[w][p])
+        for w in range(num_workers)
+        for p in range(num_params)
+    ]
+    updates = tf.apply_gradients(pairs, learning_rate, momentum=momentum,
+                                 name="sgd")
+    return loss_fetch, updates, all_vars, num_params
 
 
 def run_sgd(
@@ -193,6 +309,10 @@ def run_sgd(
     device_type: str = "cpu",
     cluster: Optional[ClusterHandle] = None,
     optimize: Optional[bool] = None,
+    blocks: int = 1,
+    momentum: float = 0.0,
+    algorithm: str = "auto",
+    fusion: Optional[bool] = None,
 ) -> SGDResult:
     """Train the data-parallel linear regression.
 
@@ -214,6 +334,20 @@ def run_sgd(
             RDMA without the PCIe staging penalty).
         optimize: force plan-time optimization and the executor fast
             path on/off together for the A/B benchmark lanes.
+        blocks: per-layer weight blocks (must divide ``d``); with more
+            than one, a scalar bias joins too and every parameter gets
+            its own gradient collective — the many-small-gradients
+            workload the fusion pass buckets.
+        momentum: classic momentum coefficient (0 = plain SGD), applied
+            through per-variable slot state on the weights' devices.
+        algorithm: collective schedule for the gradient/loss exchanges
+            (``"auto"``/``"ring"``/``"tree"``; collective mode only).
+        fusion: enable the opt-in gradient-bucket fusion pass (``None``
+            keeps the session default, i.e. off).
+
+    Weight trajectories are byte-identical across modes, frontends,
+    algorithms and the fusion on/off axis; only the simulated clock
+    moves.
     """
     if mode not in ("collective", "reducer"):
         raise InvalidArgumentError(
@@ -234,51 +368,65 @@ def run_sgd(
     chief_device = task_device("chief", 0, "cpu", 0)
     data = (None if shape_only else
             make_regression_problem(d, rows_per_worker, num_workers, seed)[:2])
-    config = session_config(shape_only=shape_only, optimize=optimize)
+    config = session_config(shape_only=shape_only, optimize=optimize,
+                            fusion=fusion)
 
     loss_history: list = []
     trajectory: list = []
     trace_count = 0
+    first_step_metadata = tf.RunMetadata()
+
+    def record_step(loss, param_values):
+        loss_history.append(loss if shape_only else float(loss))
+        if not shape_only:
+            trajectory.append(np.concatenate(
+                [np.reshape(np.asarray(v), -1) for v in param_values]
+            ))
 
     if frontend == "session":
         g = tf.Graph()
         with g.as_default():
-            loss_fetch, updates, w_vars = _build_step(
+            loss_fetch, updates, all_vars, num_params = _build_step(
                 num_workers, d, rows_per_worker, data, learning_rate, mode,
-                devs, chief_device, shape_only,
+                devs, chief_device, shape_only, blocks=blocks,
+                momentum=momentum, algorithm=algorithm,
             )
             step_op = tf.group(*[u.op for u in updates], name="train",
                                graph=g)
         sess = tf.Session(handle.server("chief", 0), graph=g, config=config)
-        for v in w_vars:
+        # Momentum slots live in the graph's variable collection next to
+        # the weights; initialize everything the builder registered.
+        for v in g.get_collection(tf.GraphKeys.GLOBAL_VARIABLES):
             sess.run(v.initializer)
         start = env.now
-        for _ in range(steps):
-            loss, new_w, _ = sess.run([loss_fetch, updates[0], step_op])
-            loss_history.append(loss if shape_only else float(loss))
-            if not shape_only:
-                trajectory.append(np.asarray(new_w).copy())
+        for it in range(steps):
+            # Worker 0's freshly-assigned parameters come back with the
+            # loss; the remaining replicas update through step_op.
+            values = sess.run(
+                [loss_fetch, *updates[:num_params], step_op],
+                run_metadata=first_step_metadata if it == 0 else None,
+            )
+            record_step(values[0], values[1:1 + num_params])
         elapsed = env.now - start
         plan_items = sess.plan_cache_info()["items"]
     else:
         def sgd_step():
-            loss_fetch, updates, _ = _build_step(
+            loss_fetch, updates, _, num_params = _build_step(
                 num_workers, d, rows_per_worker, data, learning_rate, mode,
-                devs, chief_device, shape_only,
+                devs, chief_device, shape_only, blocks=blocks,
+                momentum=momentum, algorithm=algorithm,
             )
-            # The updated worker-0 weights come back as the AssignSub
-            # output; the remaining replicas' updates are auto-fetched
+            # The updated worker-0 parameters come back as the AssignSub
+            # outputs; the remaining replicas' updates are auto-fetched
             # as traced side effects.
-            return loss_fetch, updates[0]
+            return (loss_fetch, *updates[:num_params])
 
         step = tf.function(sgd_step, name="sgd_step",
                            target=handle.server("chief", 0), config=config)
         start = env.now
         for _ in range(steps):
-            loss, new_w = step()
-            loss_history.append(loss if shape_only else float(loss))
-            if not shape_only:
-                trajectory.append(np.asarray(new_w).copy())
+            values = step()
+            record_step(values[0], values[1:])
         elapsed = env.now - start
         trace_count = step.trace_count
         plan_items = step.session.plan_cache_info()["items"]
@@ -288,7 +436,8 @@ def run_sgd(
     if not shape_only:
         weights = trajectory[-1]
         _, ref_losses, ref_traj = sgd_reference(
-            data[0], data[1], steps, learning_rate
+            data[0], data[1], steps, learning_rate, blocks=blocks,
+            momentum=momentum,
         )
         validated = bool(
             np.array_equal(weights, ref_traj[-1])
@@ -303,10 +452,16 @@ def run_sgd(
         frontend=frontend,
         steps=steps,
         elapsed=elapsed,
+        blocks=blocks,
+        momentum=momentum,
+        algorithm=algorithm,
+        fused=bool(fusion),
         loss_history=loss_history,
         trajectory=trajectory,
         weights=weights,
         validated=validated,
         plan_items=plan_items,
         trace_count=trace_count,
+        pass_stats=list(first_step_metadata.pass_stats),
+        collective_algorithms=dict(first_step_metadata.collective_algorithms),
     )

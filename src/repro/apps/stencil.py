@@ -124,6 +124,7 @@ def run_stencil(
     device_type: str = "cpu",
     cluster: Optional[ClusterHandle] = None,
     optimize: Optional[bool] = None,
+    algorithm: str = "auto",
 ) -> StencilResult:
     """Run the sharded Jacobi stencil.
 
@@ -135,6 +136,11 @@ def run_stencil(
             cadence in sweeps.
         mode: ``"collective"`` (ring allreduce/allgather graph ops) or
             ``"reducer"`` (central chief-task reduce + fan-out).
+        algorithm: collective-mode schedule for the residual allreduce
+            (``"auto"``/``"ring"``/``"tree"``; auto picks tree — the
+            residual is a scalar, squarely in the latency-bound regime).
+            Residual histories and fields stay byte-identical across
+            algorithms.
         tol: stop when the global residual drops below this (concrete
             mode only; ``0.0`` disables early exit).
         shape_only: run paper-scale problems without materializing data.
@@ -266,7 +272,8 @@ def run_stencil(
             with g.device(devs[w]):
                 sync_reads.append(u_vars[w].value())
         if mode == "collective":
-            totals = tf.all_reduce(res_reads, name="res_allreduce")
+            totals = tf.all_reduce(res_reads, algorithm=algorithm,
+                                   name="res_allreduce")
             fields = tf.all_gather(sync_reads, name="field_allgather")
             res_fetch = totals[0]
             field_fetch = fields[0]

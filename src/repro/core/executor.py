@@ -706,31 +706,37 @@ def _run_recv(state: ExecutionState, item: Item):
         state.register_outputs(item, [value])
 
 
-def _collective_schedule(state: ExecutionState, op, group: _CollectiveGroup):
-    """The ring generator for one collective op over its rank devices."""
-    from repro.runtime import collective as ring
+def _collective_schedule(state: ExecutionState, item: Item,
+                         group: _CollectiveGroup):
+    """The schedule generator for one collective op over its rank devices.
 
+    Resolved through the strategy registry of
+    :mod:`repro.runtime.collective` with the algorithm the lowering chose
+    (``Item.collective_algorithm``) — the rendezvous below drives
+    whatever schedule is registered, so new algorithms never touch the
+    executor, in either dispatch lane.
+    """
+    from repro.runtime import collective as collective_runtime
+
+    op = item.op
     protocol = op.get_attr("protocol") or state.protocol
-    if op.type == "CollectiveAllReduce":
-        return ring.ring_allreduce(group.devices, group.values, protocol)
-    if op.type == "CollectiveAllGather":
-        return ring.ring_allgather(group.devices, group.values, protocol)
-    if op.type == "CollectiveBroadcast":
-        return ring.ring_broadcast(group.devices, group.values[0], protocol,
-                                   root=0)
-    raise InternalError(f"Not a collective op type: {op.type}")
+    strategy = collective_runtime.get_strategy(
+        op.type, item.collective_algorithm or "ring"
+    )
+    return strategy(group.devices, group.values, protocol)
 
 
 def _run_collective(state: ExecutionState, item: Item):
     """One rank leg of a lowered collective op.
 
     The leg publishes its device and rank input into the run's group
-    rendezvous; the last leg to arrive drives the ring schedule (so the
-    op's simulated time is exactly the standalone ring generator's), and
-    every leg completes at the ring's finish time holding its own rank's
-    result. Legs never occupy a device slot while blocked — the ring's
-    wire time is charged on the transports, and the per-step host math
-    inside the ring generator accounts the device-side adds.
+    rendezvous; the last leg to arrive drives the registered strategy's
+    schedule (so the op's simulated time is exactly the standalone
+    generator's), and every leg completes at the schedule's finish time
+    holding its own rank's result. Legs never occupy a device slot while
+    blocked — the schedule's wire time is charged on the transports, and
+    the per-step host math inside the generator accounts the device-side
+    adds.
     """
     op = item.op
     rank = item.collective_rank
@@ -744,7 +750,7 @@ def _run_collective(state: ExecutionState, item: Item):
         state.metadata.collective_items += 1
     if group.arrived == group.world:
         try:
-            results = yield from _collective_schedule(state, op, group)
+            results = yield from _collective_schedule(state, item, group)
         except BaseException as exc:
             # Wake the peer legs so their cleanup runs; the failure still
             # surfaces through this leg (and the run's done event).

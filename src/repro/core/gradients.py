@@ -16,9 +16,11 @@ What is differentiable
 Gradient functions are registered per op *type* with
 :class:`RegisterGradient`. The registry covers the dense-algebra core —
 ``MatMul`` (all transpose combinations, matrix x vector included),
-``Dot``, ``Add``/``Sub``/``Mul``/``Div`` (with NumPy-style broadcast
-reduction), ``Neg``, ``Square``, ``Sqrt``, ``AddN``, ``Sum``/``Mean``
-reductions, ``Identity``, ``Reshape`` — enough for linear/logistic-style
+``Dot``, ``Add``/``Sub``/``Mul``/``Div``/``Maximum`` (with NumPy-style
+broadcast reduction), ``Neg``, ``Square``, ``Sqrt``, ``Exp``,
+``Sigmoid``, ``AddN``, ``Sum``/``Mean`` reductions, ``Identity``,
+``Reshape``, ``Concat``/``Slice`` (layout ops — what the collective
+fusion pass's bucketing emits) — enough for linear/logistic-style
 regression losses. ``Placeholder``, ``Variable`` reads, ``Const`` and
 ``Fill`` are *leaves*: they have no inputs, so differentiation stops
 there and the accumulated gradient is simply returned for any of them
@@ -320,9 +322,33 @@ def gradients(
 # SGD on top: apply_gradients / minimize
 # ---------------------------------------------------------------------------
 
+def _momentum_slot(var: state_ops.Variable, name: str) -> state_ops.Variable:
+    """The per-variable velocity slot, created on the variable's device.
+
+    Slot state rides the existing assign machinery: an ordinary zero-
+    initialized ``Variable`` registered in the graph's global-variable
+    collection, so ``global_variables_initializer`` (and the tracing
+    frontend's automatic initializer handling) covers it like any other
+    variable. Requires a fully-defined variable shape (there is no lazy
+    slot allocation).
+    """
+    if not var.shape.is_fully_defined:
+        raise InvalidArgumentError(
+            f"momentum needs a fully-defined variable shape to build the "
+            f"slot; {var.name} has shape {var.shape}"
+        )
+    g = var.graph
+    init = array_ops.fill(
+        var.shape.as_tuple(), 0, dtype=var.dtype,
+        name=f"{name}/initial_value", graph=g,
+    )
+    return state_ops.Variable(init, name=name, graph=g)
+
+
 def apply_gradients(
     grads_and_vars,
     learning_rate,
+    momentum: float = 0.0,
     name: str = "SGD",
 ) -> list[Tensor]:
     """The SGD update ``var -= learning_rate * grad``, one assign per pair.
@@ -332,6 +358,15 @@ def apply_gradients(
             produced by zipping :func:`gradients` output with the
             variable list; pairs whose gradient is ``None`` are skipped.
         learning_rate: python scalar or scalar tensor.
+        momentum: classic (Polyak) momentum coefficient. ``0.0`` (the
+            default) is plain SGD. A positive value creates one velocity
+            slot variable per applied pair — on the variable's device,
+            through the ordinary assign machinery — and applies
+            ``v = momentum * v + grad; var -= learning_rate * v``. Slot
+            variables land in the graph's global-variable collection, so
+            ``global_variables_initializer`` initializes them (the
+            tracing frontend runs trace-created initializers
+            automatically).
         name: name scope for the update ops.
 
     Returns:
@@ -339,13 +374,16 @@ def apply_gradients(
         per applied pair — fetch any of them (or ``tf.group`` their
         ``.op``s into a single train op) to run the step. Each update is
         built under its variable's device, so the scale-and-subtract
-        executes where the weights live. Returning the updated values
-        (instead of TF's bare op) lets a ``@repro.function`` body hand
-        the post-update weights straight back to the caller.
+        (and any slot update) executes where the weights live. Returning
+        the updated values (instead of TF's bare op) lets a
+        ``@repro.function`` body hand the post-update weights straight
+        back to the caller.
     """
     pairs = list(grads_and_vars)
     if not pairs:
         raise InvalidArgumentError("apply_gradients got no (grad, var) pairs")
+    if momentum < 0.0:
+        raise InvalidArgumentError(f"momentum must be >= 0, got {momentum}")
     updates: list[Tensor] = []
     for grad, var in pairs:
         if not isinstance(var, state_ops.Variable):
@@ -362,7 +400,24 @@ def apply_gradients(
                     np.asarray(lr, dtype=var.dtype.np_dtype),
                     name="learning_rate", graph=g,
                 )
-            step = math_ops.multiply(lr, grad, name="scaled_grad")
+            if momentum:
+                slot = _momentum_slot(var, name="momentum")
+                m = array_ops.constant(
+                    np.asarray(momentum, dtype=var.dtype.np_dtype),
+                    name="momentum_coeff", graph=g,
+                )
+                # The Assign's output is the fresh velocity, so the
+                # var update dataflow-depends on the slot write.
+                velocity = state_ops.assign(
+                    slot,
+                    math_ops.add(
+                        math_ops.multiply(m, slot.value(), name="decayed"),
+                        grad, name="velocity",
+                    ),
+                )
+            else:
+                velocity = grad
+            step = math_ops.multiply(lr, velocity, name="scaled_grad")
             updates.append(state_ops.assign_sub(var, step))
     if not updates:
         raise InvalidArgumentError(
@@ -375,18 +430,20 @@ def minimize(
     loss: Tensor,
     var_list: Sequence[state_ops.Variable],
     learning_rate,
+    momentum: float = 0.0,
     name: str = "SGD",
 ):
     """One-call SGD: differentiate ``loss`` and apply the updates.
 
     Convenience wrapper chaining :func:`gradients` and
-    :func:`apply_gradients`; returns a single grouped train
-    :class:`~repro.core.graph.Operation`. Raises if ``loss`` depends on
-    none of ``var_list``.
+    :func:`apply_gradients` (with optional classic momentum); returns a
+    single grouped train :class:`~repro.core.graph.Operation`. Raises if
+    ``loss`` depends on none of ``var_list``.
     """
     var_list = list(var_list)
     grads = gradients([loss], var_list, name=f"{name}_gradients")
-    updates = apply_gradients(zip(grads, var_list), learning_rate, name=name)
+    updates = apply_gradients(zip(grads, var_list), learning_rate,
+                              momentum=momentum, name=name)
     graph = loss.graph
     return control_flow.group(
         *[u.op for u in updates], name=f"{name}_train", graph=graph
@@ -501,6 +558,43 @@ def _sqrt_grad(op, grad):
     return [math_ops.divide(grad, math_ops.multiply(two, y))]
 
 
+@RegisterGradient("Exp")
+def _exp_grad(op, grad):
+    y = op.outputs[0]  # d exp(x)/dx = exp(x), reused
+    return [math_ops.multiply(grad, y)]
+
+
+@RegisterGradient("Sigmoid")
+def _sigmoid_grad(op, grad):
+    y = op.outputs[0]  # d sigma(x)/dx = sigma (1 - sigma), reused
+    one = array_ops.constant(
+        np.asarray(1, dtype=y.dtype.np_dtype), name="one", graph=y.graph
+    )
+    return [
+        math_ops.multiply(
+            grad, math_ops.multiply(y, math_ops.subtract(one, y))
+        )
+    ]
+
+
+@RegisterGradient("Maximum")
+def _maximum_grad(op, grad):
+    a, b = op.inputs
+    # Subgradient: the larger input takes the gradient; exact ties route
+    # to the first input (TF's GreaterEqual convention).
+    mask = array_ops.cast(math_ops.greater_equal(a, b), a.dtype,
+                          name="take_a")
+    one = array_ops.constant(
+        np.asarray(1, dtype=a.dtype.np_dtype), name="one", graph=a.graph
+    )
+    return [
+        _sum_to_shape(math_ops.multiply(grad, mask), a),
+        _sum_to_shape(
+            math_ops.multiply(grad, math_ops.subtract(one, mask)), b
+        ),
+    ]
+
+
 @RegisterGradient("AddN")
 def _add_n_grad(op, grad):
     return [grad] * len(op.inputs)
@@ -586,3 +680,62 @@ def _mean_grad(op, grad):
         name="inv_count", graph=x.graph,
     )
     return [math_ops.multiply(_broadcast_reduce_grad(op, grad), scale)]
+
+
+@RegisterGradient("Concat")
+def _concat_grad(op, grad):
+    """Slice the incoming gradient back into per-input blocks."""
+    axis = op.get_attr("axis")
+    rank = len(_static_dims(grad, "Concat"))
+    ax = axis % rank
+    grads = []
+    offset = 0
+    for inp in op.inputs:
+        dims = _static_dims(inp, "Concat")
+        begin = [offset if i == ax else 0 for i in range(rank)]
+        grads.append(
+            array_ops.slice_(grad, begin, dims, name="unconcat")
+        )
+        offset += dims[ax]
+    return grads
+
+
+@RegisterGradient("Slice")
+def _slice_grad(op, grad):
+    """Pad the gradient back to the input's shape with zeros.
+
+    Built from the existing layout ops: one ``Concat`` of zero blocks
+    per dimension that was actually cut, innermost first — no dedicated
+    Pad/scatter op needed.
+    """
+    x = op.inputs[0]
+    begin = op.get_attr("begin")
+    size = op.get_attr("size")
+    dims = _static_dims(x, "Slice")
+    out = grad
+    # After processing dimension i (from the last to the first), ``out``
+    # spans the full input extent on dims >= i and the slice extent on
+    # dims < i; grown extents come from zero fills.
+    for i in reversed(range(len(dims))):
+        before = begin[i]
+        after = dims[i] - begin[i] - size[i]
+        if before == 0 and after == 0:
+            continue
+        grown = [
+            dims[j] if j > i else (size[j] if j < i else None)
+            for j in range(len(dims))
+        ]
+        parts = []
+        if before:
+            parts.append(array_ops.fill(
+                [before if j == i else grown[j] for j in range(len(dims))],
+                0, dtype=x.dtype, name="pad_before", graph=x.graph,
+            ))
+        parts.append(out)
+        if after:
+            parts.append(array_ops.fill(
+                [after if j == i else grown[j] for j in range(len(dims))],
+                0, dtype=x.dtype, name="pad_after", graph=x.graph,
+            ))
+        out = array_ops.concat(parts, axis=i, name="unslice")
+    return [out]

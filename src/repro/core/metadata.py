@@ -102,6 +102,10 @@ class RunMetadata:
     # Rank legs of lowered collective ops executed during the run (one
     # CollectiveAllReduce over W workers contributes W).
     collective_items: int = 0
+    # Collective op name -> the communication schedule the lowering chose
+    # ("ring"/"tree"/...), with the builders' algorithm="auto" resolved
+    # per payload and world size at plan-build time.
+    collective_algorithms: dict = field(default_factory=dict)
     # Frontend cache accounting. ``plan_cache_hit`` says whether *this*
     # run reused a cached execution plan; the ``*_hits``/``*_misses``
     # pairs are the owning session's / traced function's cumulative

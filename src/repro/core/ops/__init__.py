@@ -34,7 +34,12 @@ from repro.core.ops.array_ops import (
     zeros,
     zeros_like,
 )
-from repro.core.ops.collective_ops import all_gather, all_reduce, broadcast
+from repro.core.ops.collective_ops import (
+    all_gather,
+    all_reduce,
+    broadcast,
+    reduce_scatter,
+)
 from repro.core.ops.control_flow import group, no_op
 from repro.core.ops.data_ops import Dataset
 from repro.core.ops.io_ops import read_tile, write_tile
@@ -43,6 +48,8 @@ from repro.core.ops.math_ops import (
     add_n,
     divide,
     dot,
+    exp,
+    greater_equal,
     matmul,
     maximum,
     minimum,
@@ -51,6 +58,7 @@ from repro.core.ops.math_ops import (
     reduce_max,
     reduce_mean,
     reduce_sum,
+    sigmoid,
     sqrt,
     square,
     subtract,
@@ -71,12 +79,12 @@ __all__ = [
     "concat", "split", "stack", "squeeze", "expand_dims", "fill", "zeros",
     "ones", "zeros_like", "slice_",
     "add", "subtract", "multiply", "divide", "negative", "square", "sqrt",
-    "maximum", "minimum", "matmul", "dot", "add_n", "reduce_sum",
-    "reduce_mean", "reduce_max",
+    "exp", "sigmoid", "maximum", "minimum", "greater_equal", "matmul",
+    "dot", "add_n", "reduce_sum", "reduce_mean", "reduce_max",
     "random_uniform", "random_normal",
     "Variable", "assign", "assign_add", "assign_sub",
     "global_variables_initializer",
     "FIFOQueue", "Dataset", "read_tile", "write_tile",
     "fft", "ifft", "group", "no_op",
-    "all_reduce", "all_gather", "broadcast",
+    "all_reduce", "reduce_scatter", "all_gather", "broadcast",
 ]

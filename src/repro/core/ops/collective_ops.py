@@ -1,4 +1,4 @@
-"""First-class collective ops: allreduce, allgather, broadcast.
+"""First-class collective ops: allreduce, reduce-scatter, allgather, broadcast.
 
 The paper's discussion section argues for "an MPI communication backend
 for functions such as allreduce without needing the use of dedicated
@@ -21,6 +21,14 @@ Eagerly (and under ``run_functions_eagerly``) the kernels below execute
 the same canonical arithmetic directly — concrete sums accumulate in
 rank order starting from zeros, exactly as the ring's concrete path
 does, so the three frontends produce byte-identical values.
+
+Every builder takes an ``algorithm=`` attr selecting the communication
+schedule (``"auto"`` — resolved per payload/world size at lowering time
+— or any algorithm the strategy registry of
+:mod:`repro.runtime.collective` knows for the op type, e.g. ``"ring"`` /
+``"tree"`` for allreduce). The algorithm never changes the produced
+bytes, only the simulated communication schedule; eager execution
+ignores it entirely (there is no simulated network to schedule on).
 """
 
 from __future__ import annotations
@@ -33,29 +41,47 @@ from repro.core.kernels.registry import Cost, register_kernel
 from repro.core.ops.common import any_symbolic, make_symbolic, runtime_spec, to_tensor
 from repro.core.tensor import Tensor, TensorShape
 from repro.errors import InvalidArgumentError
+from repro.runtime.collective import registered_algorithms
 
 __all__ = [
     "COLLECTIVE_OP_TYPES",
     "all_reduce",
+    "reduce_scatter",
     "all_gather",
     "broadcast",
 ]
 
-# Op types the partitioner lowers into per-rank ring legs.
+# Op types the partitioner lowers into per-rank schedule legs.
 COLLECTIVE_OP_TYPES = frozenset(
-    {"CollectiveAllReduce", "CollectiveAllGather", "CollectiveBroadcast"}
+    {
+        "CollectiveAllReduce",
+        "CollectiveReduceScatter",
+        "CollectiveAllGather",
+        "CollectiveBroadcast",
+    }
 )
 
 
 def _common_attrs(world: int, devices: Optional[Sequence[str]],
-                  protocol: Optional[str]) -> dict:
+                  protocol: Optional[str], algorithm: str,
+                  op_type: str) -> dict:
     if devices is not None:
         devices = tuple(str(d) for d in devices)
         if len(devices) != world:
             raise InvalidArgumentError(
                 f"collective got {world} ranks but {len(devices)} devices"
             )
-    return {"world": world, "devices": devices, "protocol": protocol}
+    if algorithm != "auto" and algorithm not in registered_algorithms(op_type):
+        raise InvalidArgumentError(
+            f"{op_type} has no {algorithm!r} algorithm; pick 'auto' or one "
+            f"of {list(registered_algorithms(op_type))}"
+        )
+    return {
+        "world": world,
+        "devices": devices,
+        "protocol": protocol,
+        "algorithm": algorithm,
+    }
 
 
 def _rank_tensors(values: Sequence[Any], what: str) -> list[Tensor]:
@@ -82,24 +108,31 @@ def all_reduce(
     values: Sequence[Any],
     devices: Optional[Sequence[str]] = None,
     protocol: Optional[str] = None,
+    algorithm: str = "auto",
     name: str = "CollectiveAllReduce",
 ) -> list[Tensor]:
     """Sum-allreduce one tensor per rank; returns one reduced copy per rank.
 
     Args:
         values: per-rank addends of equal shape and dtype (the rank order
-            is the ring order).
+            is the schedule order).
         devices: optional explicit per-rank device strings; by default
             each rank's leg colocates with its input's producer — for
             chained collectives, with the upstream *leg* feeding it.
-        protocol: bulk transport override for the ring traffic (defaults
-            to the session's data protocol).
+        protocol: bulk transport override for the collective traffic
+            (defaults to the session's data protocol).
+        algorithm: ``"auto"`` (lowering picks ring vs tree per payload
+            and world size), ``"ring"`` (bandwidth-optimal) or ``"tree"``
+            (latency-optimal recursive halving/doubling). Values are
+            byte-identical either way; only the simulated schedule
+            differs. ``RunMetadata.collective_algorithms`` records the
+            resolved choice.
 
     Returns:
         One tensor per rank holding the full sum, colocated with that
         rank's leg. Concrete values accumulate in rank order starting
         from zeros in every frontend, so results are byte-identical
-        whether the op runs eagerly, traced, or ring-lowered.
+        whether the op runs eagerly, traced, or schedule-lowered.
 
     Not differentiable: ``repro.gradients`` raises if asked to
     differentiate *through* a collective. Sum per-rank gradients by
@@ -114,7 +147,69 @@ def all_reduce(
         "CollectiveAllReduce",
         inputs=tensors,
         output_specs=[(tensors[0].dtype, shape)] * len(tensors),
-        attrs=_common_attrs(len(tensors), devices, protocol),
+        attrs=_common_attrs(len(tensors), devices, protocol, algorithm,
+                            "CollectiveAllReduce"),
+        name=name,
+    )
+    return list(op.outputs)
+
+
+def reduce_scatter(
+    values: Sequence[Any],
+    devices: Optional[Sequence[str]] = None,
+    protocol: Optional[str] = None,
+    algorithm: str = "auto",
+    name: str = "CollectiveReduceScatter",
+) -> list[Tensor]:
+    """Sum-reduce one tensor per rank, scattering axis-0 blocks back.
+
+    The ring allreduce's first half standalone: rank ``r`` receives only
+    block ``r`` of the summed buffer (axis 0 cut into ``world`` equal
+    blocks), having moved ``(W-1)/W`` of the buffer instead of the
+    allreduce's ``2 (W-1)/W``. The primitive for sharded-state updates
+    that never need the full result on every rank.
+
+    Args:
+        values: per-rank addends of equal shape and dtype, rank >= 1,
+            leading dimension divisible by the number of ranks.
+        devices: optional explicit per-rank device strings; by default
+            each rank's leg colocates with its input's producer.
+        protocol: bulk transport override for the collective traffic.
+        algorithm: ``"auto"`` or ``"ring"`` (the only registered
+            schedule today).
+
+    Returns:
+        One tensor per rank holding that rank's block of the canonical
+        rank-order sum, colocated with the rank's leg. Like
+        :func:`all_reduce`, not differentiable.
+    """
+    tensors = _rank_tensors(values, "reduce_scatter")
+    world = len(tensors)
+    shape = tensors[0].shape
+    for t in tensors[1:]:
+        shape = shape.merge_with(t.shape)
+    if shape.rank == 0:
+        raise InvalidArgumentError(
+            "reduce_scatter needs tensors of rank >= 1 (got a scalar)"
+        )
+    if shape.rank is None:
+        out_shape = TensorShape(None)
+    else:
+        lead = shape[0]
+        if lead is not None and lead % world != 0:
+            raise InvalidArgumentError(
+                f"reduce_scatter needs a leading dimension divisible by "
+                f"the world size: {lead} rows across {world} ranks"
+            )
+        out_shape = TensorShape(
+            [None if lead is None else lead // world, *shape.dims[1:]]
+        )
+    op = tensors[0].graph.create_op(
+        "CollectiveReduceScatter",
+        inputs=tensors,
+        output_specs=[(tensors[0].dtype, out_shape)] * world,
+        attrs=_common_attrs(world, devices, protocol, algorithm,
+                            "CollectiveReduceScatter"),
         name=name,
     )
     return list(op.outputs)
@@ -124,6 +219,7 @@ def all_gather(
     values: Sequence[Any],
     devices: Optional[Sequence[str]] = None,
     protocol: Optional[str] = None,
+    algorithm: str = "auto",
     name: str = "CollectiveAllGather",
 ) -> list[Tensor]:
     """Allgather per-rank tensors (concatenated along axis 0) to every rank.
@@ -135,6 +231,8 @@ def all_gather(
         devices: optional explicit per-rank device strings; by default
             each rank's leg colocates with its input's producer.
         protocol: bulk transport override for the ring traffic.
+        algorithm: ``"auto"`` or ``"ring"`` (the only registered
+            schedule today).
 
     Returns:
         One tensor per rank holding the full axis-0 concatenation,
@@ -165,7 +263,8 @@ def all_gather(
         "CollectiveAllGather",
         inputs=tensors,
         output_specs=[(tensors[0].dtype, out_shape)] * len(tensors),
-        attrs=_common_attrs(len(tensors), devices, protocol),
+        attrs=_common_attrs(len(tensors), devices, protocol, algorithm,
+                            "CollectiveAllGather"),
         name=name,
     )
     return list(op.outputs)
@@ -176,6 +275,7 @@ def broadcast(
     world: Optional[int] = None,
     devices: Optional[Sequence[str]] = None,
     protocol: Optional[str] = None,
+    algorithm: str = "auto",
     name: str = "CollectiveBroadcast",
 ) -> list[Tensor]:
     """Broadcast ``value`` (rank 0, the root) to ``world`` ranks.
@@ -211,7 +311,8 @@ def broadcast(
         "CollectiveBroadcast",
         inputs=[tensor],
         output_specs=[(tensor.dtype, tensor.shape)] * world,
-        attrs=_common_attrs(world, devices, protocol),
+        attrs=_common_attrs(world, devices, protocol, algorithm,
+                            "CollectiveBroadcast"),
         name=name,
     )
     return list(op.outputs)
@@ -257,6 +358,44 @@ def _all_reduce_kernel(op, inputs, ctx):
     for value in inputs:
         total = total + np.asarray(value)
     return [total.copy() for _ in inputs], cost
+
+
+@register_kernel("CollectiveReduceScatter")
+def _reduce_scatter_kernel(op, inputs, ctx):
+    specs = [runtime_spec(v) for v in inputs]
+    _validate_allreduce_inputs(specs)
+    world = len(inputs)
+    if specs[0].ndim == 0:
+        raise InvalidArgumentError(
+            "reduce_scatter needs tensors of rank >= 1 (got a scalar)"
+        )
+    if specs[0].shape[0] % world != 0:
+        raise InvalidArgumentError(
+            f"reduce_scatter needs a leading dimension divisible by the "
+            f"world size: {specs[0].shape[0]} rows across {world} ranks"
+        )
+    rows = specs[0].shape[0] // world
+    block_shape = (rows, *specs[0].shape[1:])
+    nbytes = sum(s.nbytes for s in specs)
+    cost = Cost(
+        flops=(world - 1) * specs[0].size,
+        mem_bytes=nbytes + specs[0].nbytes,
+        kind="compute",
+    )
+    if any_symbolic(inputs):
+        return [
+            make_symbolic(block_shape, specs[0].dtype) for _ in inputs
+        ], cost
+    # Canonical accumulation order (zeros, then rank 0, 1, ...): the sum
+    # matches the ring generator and the allreduce byte for byte; rank r
+    # keeps block r.
+    total = np.zeros(specs[0].shape, dtype=specs[0].dtype.np_dtype)
+    for value in inputs:
+        total = total + np.asarray(value)
+    return [
+        np.ascontiguousarray(total[rank * rows:(rank + 1) * rows])
+        for rank in range(world)
+    ], cost
 
 
 @register_kernel("CollectiveAllGather")

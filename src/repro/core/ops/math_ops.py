@@ -28,8 +28,11 @@ __all__ = [
     "negative",
     "square",
     "sqrt",
+    "exp",
+    "sigmoid",
     "maximum",
     "minimum",
+    "greater_equal",
     "matmul",
     "dot",
     "add_n",
@@ -92,6 +95,26 @@ def minimum(x, y, name: str = "Minimum") -> Tensor:
     return _binary("Minimum", x, y, name)
 
 
+def greater_equal(x, y, name: str = "GreaterEqual") -> Tensor:
+    """Elementwise ``x >= y`` as a bool tensor (NumPy broadcasting)."""
+    xt = to_tensor(x)
+    yt = to_tensor(y, graph=xt.graph)
+    if xt.dtype != yt.dtype:
+        target = dtypes.result_dtype(xt.dtype, yt.dtype)
+        if xt.dtype != target:
+            xt = cast(xt, target)
+        if yt.dtype != target:
+            yt = cast(yt, target)
+    shape = broadcast_static_shapes(xt.shape, yt.shape)
+    op = xt.graph.create_op(
+        "GreaterEqual",
+        inputs=[xt, yt],
+        output_specs=[(dtypes.bool_, shape)],
+        name=name,
+    )
+    return op.outputs[0]
+
+
 def _unary(op_type: str, x, name: str, dtype=None) -> Tensor:
     xt = to_tensor(x)
     op = xt.graph.create_op(
@@ -113,6 +136,15 @@ def square(x, name: str = "Square") -> Tensor:
 
 def sqrt(x, name: str = "Sqrt") -> Tensor:
     return _unary("Sqrt", x, name)
+
+
+def exp(x, name: str = "Exp") -> Tensor:
+    return _unary("Exp", x, name)
+
+
+def sigmoid(x, name: str = "Sigmoid") -> Tensor:
+    """Elementwise logistic function ``1 / (1 + exp(-x))``."""
+    return _unary("Sigmoid", x, name)
 
 
 def matmul(a, b, transpose_a: bool = False, transpose_b: bool = False,
@@ -284,9 +316,27 @@ def _unary_kernel(np_fn, flops_per_element: float = 1.0):
     return kernel
 
 
+def _sigmoid_np(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
 register_kernel("Neg", pure=True)(_unary_kernel(np.negative))
 register_kernel("Square", pure=True)(_unary_kernel(np.square))
 register_kernel("Sqrt", pure=True)(_unary_kernel(np.sqrt, flops_per_element=4.0))
+register_kernel("Exp", pure=True)(_unary_kernel(np.exp, flops_per_element=8.0))
+register_kernel("Sigmoid", pure=True)(
+    _unary_kernel(_sigmoid_np, flops_per_element=10.0)
+)
+
+
+@register_kernel("GreaterEqual", pure=True)
+def _greater_equal_kernel(op, inputs, ctx):
+    out_spec = elementwise_spec(inputs, dtype=op.outputs[0].dtype)
+    cost = _elementwise_cost(inputs, out_spec)
+    if any_symbolic(inputs):
+        return [out_spec], cost
+    a, b = (np.asarray(v) for v in inputs)
+    return [np.greater_equal(a, b)], cost
 
 
 @register_kernel("MatMul", pure=True)

@@ -9,6 +9,10 @@ Sessions run this pipeline over each pruned fetch closure before placement
   structural hashing;
 * :mod:`~repro.core.optimizer.constant_folding` — const-only subtrees are
   evaluated once through the kernel registry and memoized on the graph;
+* :mod:`~repro.core.optimizer.collective_fusion` — opt-in Horovod-style
+  gradient-bucket fusion: small same-group allreduces merge into one
+  collective over a concatenated buffer (byte-identical values, fewer
+  latency steps);
 * :mod:`~repro.core.optimizer.coalescing` — post-placement merging of
   duplicate constants and ``_Send``/``_Recv`` pairs.
 

@@ -1,0 +1,281 @@
+"""Gradient-bucket fusion: merge small same-group allreduces into one.
+
+Horovod's tensor-fusion argument, as a plan-time pass: reverse-mode
+autodiff emits one ``CollectiveAllReduce`` per parameter tensor, and for
+many-small-parameter models (per-layer weights + biases) the per-op
+latency steps — ``2 (W-1)`` for a ring — dominate the actual bytes.
+This pass rewrites each group of small, same-configuration allreduces
+into a single collective over a concatenated buffer:
+
+    per rank r:  flatten each fused op's rank-r input -> Concat
+    one CollectiveAllReduce over the W concatenated buffers
+    per fused op, per rank: Slice its block back out -> reshape
+
+Summation stays elementwise in rank order starting from zeros, so fused
+and unfused runs are **byte-identical**; only the simulated clock
+changes (fewer latency steps, plus small concat/slice memcpy costs —
+which is why only ops at or below ``collective_fusion_bytes`` fuse, and
+buckets are capped at that size).
+
+Ops group by ``(world, devices attr, protocol, algorithm, dtype,
+per-rank placement hints)``; groups pack greedily in graph order into
+buckets bounded by ``OptimizerOptions.collective_fusion_bytes``. Fused
+subgraphs are built **into the graph** (bucketing needs real Concat /
+Slice ops) and memoized on the graph object keyed by the bucket's ops
+and resolved inputs, so rebuilding a plan for the same graph reuses the
+existing fused ops instead of growing the graph without bound — the
+graph version stabilizes after the first fused plan build, and the plan
+cache behaves exactly as for any other graph mutation.
+
+Unlike the other passes this one both removes ops from the working set
+(the fused collectives) and adds new ones, so it finishes by restoring a
+topological order over the rewritten subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.metadata import PassStats
+from repro.core.ops import array_ops, collective_ops
+from repro.core.optimizer.pipeline import Subgraph
+
+__all__ = ["fuse_collectives"]
+
+_MEMO_ATTR = "_collective_fusion_memo"
+
+
+def _memo(graph) -> dict:
+    store = getattr(graph, _MEMO_ATTR, None)
+    if store is None:
+        store = {}
+        setattr(graph, _MEMO_ATTR, store)
+    return store
+
+
+def _rank_device_hints(sg: Subgraph, op) -> Optional[tuple]:
+    """The per-rank device strings the lowering would colocate legs with.
+
+    Mirrors ``partition.lower_collective``'s placement rule at the
+    requested-device level: explicit ``devices`` attr first, else each
+    rank input's producer's device string (for fed inputs, the
+    placeholder's). Two ops only fuse when these hints agree — otherwise
+    fusion would silently move a rank's traffic onto another device.
+    """
+    devices_attr = op.get_attr("devices")
+    if devices_attr is not None:
+        return tuple(devices_attr)
+    hints = []
+    for tensor in op.inputs:
+        resolved = sg.resolve(tensor)
+        hints.append(resolved.op.device)
+    return tuple(hints)
+
+
+def _fusible_signature(sg: Subgraph, op, max_bytes: int):
+    """Group key for ``op``, or ``None`` when the op must stay unfused."""
+    if op.type != "CollectiveAllReduce":
+        return None
+    if op.name in sg.fetch_op_names:
+        return None  # fetched as an op: its lowering must survive
+    if sg.effective_control_deps(op):
+        return None  # ordered after other work: keep its own schedule slot
+    for tensor in op.inputs:
+        if not tensor.shape.is_fully_defined:
+            return None
+        # Chained collectives stay unfused: bucketing two links of a
+        # chain would make the fused op consume (a slice of) itself.
+        if sg.resolve(tensor).op.type in collective_ops.COLLECTIVE_OP_TYPES:
+            return None
+    nbytes = (
+        op.inputs[0].shape.num_elements() * op.inputs[0].dtype.size
+    )
+    if nbytes > max_bytes:
+        return None  # big buffers are bandwidth-bound: fusion buys nothing
+    hints = _rank_device_hints(sg, op)
+    return (
+        op.get_attr("world"),
+        op.get_attr("devices"),
+        op.get_attr("protocol"),
+        op.get_attr("algorithm") or "auto",
+        op.inputs[0].dtype.name,
+        hints,
+    )
+
+
+def _payload_nbytes(op) -> int:
+    return op.inputs[0].shape.num_elements() * op.inputs[0].dtype.size
+
+
+def _build_fused(sg: Subgraph, bucket: list, signature):
+    """Create (or recall) the fused subgraph for one bucket.
+
+    Returns ``(value substitutions, fused collective Operation, created
+    ops)``. The built ops are memoized on the graph keyed by the
+    bucket's op names and resolved input tensors, so repeated plan
+    builds for the same graph are pure lookups — the graph stops growing
+    (and its version stops moving) after the first fused build.
+    """
+    graph = sg.graph
+    world, devices_attr, protocol, algorithm, _dtype, hints = signature
+    resolved = [
+        [sg.resolve(op.inputs[rank]) for rank in range(world)]
+        for op in bucket
+    ]
+    key = (
+        tuple(op.name for op in bucket),
+        tuple(t.name for row in resolved for t in row),
+    )
+    memo = _memo(graph)
+    if key in memo:
+        return memo[key]
+
+    first_new_op = len(graph.operations)
+    sizes = [op.inputs[0].shape.num_elements() for op in bucket]
+    with graph.name_scope("collective_fusion"):
+        fused_ins = []
+        for rank in range(world):
+            with graph.device(hints[rank] or None):
+                parts = []
+                for j, op in enumerate(bucket):
+                    x = resolved[j][rank]
+                    if x.shape.rank != 1:
+                        x = array_ops.reshape(x, [sizes[j]], name="flat")
+                    parts.append(x)
+                fused_ins.append(
+                    array_ops.concat(parts, axis=0, name="bucket")
+                )
+        fused_outs = collective_ops.all_reduce(
+            fused_ins,
+            devices=devices_attr,
+            protocol=protocol,
+            algorithm=algorithm,
+            name="fused_allreduce",
+        )
+        subs = {}
+        offset = 0
+        for j, op in enumerate(bucket):
+            dims = op.inputs[0].shape.as_tuple()
+            for rank in range(world):
+                with graph.device(hints[rank] or None):
+                    piece = array_ops.slice_(
+                        fused_outs[rank], [offset], [sizes[j]],
+                        name="unbucket",
+                    )
+                    if dims != (sizes[j],):
+                        piece = array_ops.reshape(piece, list(dims),
+                                                  name="unflat")
+                    subs[op.outputs[rank].name] = piece
+            offset += sizes[j]
+    memo[key] = (subs, fused_outs[0].op, graph.operations[first_new_op:])
+    return memo[key]
+
+
+def _restore_topological_order(sg: Subgraph) -> None:
+    """Re-sort ``sg.ops`` so every (resolved) producer precedes its
+    consumers — the invariant ``build_plan`` iterates under, broken by
+    inserting freshly-created ops whose node ids postdate their
+    consumers."""
+    index = {op.name: op for op in sg.ops}
+    order: list = []
+    state: dict[str, int] = {}  # 0 = on stack, 1 = done
+
+    for root in sg.ops:
+        if root.name in state:
+            continue
+        stack = [(root, False)]
+        while stack:
+            op, expanded = stack.pop()
+            if state.get(op.name) == 1:
+                continue
+            if expanded:
+                state[op.name] = 1
+                order.append(op)
+                continue
+            state[op.name] = 0
+            stack.append((op, True))
+            deps = []
+            for tensor in op.inputs:
+                if tensor.name in sg.feeds:
+                    continue
+                resolved = sg.resolve(tensor)
+                if resolved.name in sg.feeds:
+                    continue
+                deps.append(resolved.op)
+            deps.extend(sg.effective_control_deps(op))
+            for dep in reversed(deps):
+                if dep.name in index and state.get(dep.name) != 1:
+                    stack.append((dep, False))
+    sg.ops = order
+
+
+def fuse_collectives(sg: Subgraph, max_bucket_bytes: int) -> PassStats:
+    """Run the fusion rewrite over the working set; returns its stats.
+
+    ``detail`` reports the collective-op count before and after, how
+    many ops fused, and the bucket count — the numbers
+    ``benchmarks/bench_collective_algos.py`` asserts on.
+    """
+    nodes_before = len(sg.ops)
+    collectives_before = sum(
+        1 for op in sg.ops if op.type in collective_ops.COLLECTIVE_OP_TYPES
+    )
+    groups: dict = {}
+    for op in sg.ops:
+        signature = _fusible_signature(sg, op, max_bucket_bytes)
+        if signature is not None:
+            groups.setdefault(signature, []).append(op)
+
+    fused_ops: set[str] = set()
+    added_ops: list = []
+    buckets_built = 0
+    for signature, ops in groups.items():
+        if len(ops) < 2:
+            continue
+        # Greedy packing in graph order, bounded by the bucket cap.
+        buckets: list[list] = []
+        current: list = []
+        current_bytes = 0
+        for op in ops:
+            nbytes = _payload_nbytes(op)
+            if current and current_bytes + nbytes > max_bucket_bytes:
+                buckets.append(current)
+                current, current_bytes = [], 0
+            current.append(op)
+            current_bytes += nbytes
+        if current:
+            buckets.append(current)
+        for bucket in buckets:
+            if len(bucket) < 2:
+                continue  # a lone leftover stays unfused
+            subs, fused_op, created = _build_fused(sg, bucket, signature)
+            sg.value_subs.update(subs)
+            added_ops.extend(created)
+            for fused in bucket:
+                fused_ops.add(fused.name)
+                # Consumers ordered after a fused op now wait on the
+                # fused collective instead.
+                sg.control_subs[fused.name] = [fused_op]
+            buckets_built += 1
+
+    if fused_ops:
+        known = {op.name for op in sg.ops}
+        sg.ops = [op for op in sg.ops if op.name not in fused_ops] + [
+            op for op in added_ops if op.name not in known
+        ]
+        _restore_topological_order(sg)
+
+    collectives_after = sum(
+        1 for op in sg.ops if op.type in collective_ops.COLLECTIVE_OP_TYPES
+    )
+    return PassStats(
+        name="collective_fusion",
+        nodes_before=nodes_before,
+        nodes_after=len(sg.ops),
+        detail={
+            "collectives_before": collectives_before,
+            "collectives_after": collectives_after,
+            "ops_fused": len(fused_ops),
+            "buckets": buckets_built,
+        },
+    )

@@ -63,6 +63,16 @@ class OptimizerOptions:
     constant_folding: bool = True
     dependency_pruning: bool = True  # drop control edges implied by data paths
     transfer_coalescing: bool = True  # plan-level send/recv dedup
+    # Horovod-style gradient-bucket fusion: merge small same-group
+    # CollectiveAllReduce ops into one schedule over a concatenated
+    # buffer (byte-identical results, fewer latency steps). Opt-in: it
+    # deliberately changes the communication schedule — and therefore
+    # the simulated clock — which the default configuration never does.
+    collective_fusion: bool = False
+    # Per-op eligibility and bucket cap for the fusion pass: only
+    # allreduces at or below this payload fuse, and a bucket's total
+    # concatenated payload never exceeds it.
+    collective_fusion_bytes: int = 1 << 20
     # Folding materializes values at plan time: cap the total static output
     # bytes of any folded op so huge Fill/MatMul results never materialize.
     max_folded_bytes: int = 1 << 20
@@ -201,6 +211,14 @@ def run_pipeline(
     if options.constant_folding:
         stats.append(
             constant_folding.fold_constants(sg, options.max_folded_bytes)
+        )
+    if options.collective_fusion:
+        from repro.core.optimizer import collective_fusion
+
+        stats.append(
+            collective_fusion.fuse_collectives(
+                sg, options.collective_fusion_bytes
+            )
         )
     if options.dependency_pruning:
         stats.append(dead_code.prune_redundant_control_deps(sg))

@@ -30,6 +30,7 @@ from repro.core.ops.collective_ops import COLLECTIVE_OP_TYPES
 from repro.core.placement import Placer
 from repro.core.tensor import Tensor
 from repro.errors import InvalidArgumentError
+from repro.runtime import collective as collective_runtime
 from repro.runtime.rendezvous import make_key
 
 __all__ = ["Item", "ExecutionPlan", "build_plan", "FEED"]
@@ -62,6 +63,10 @@ class Item:
     # Which rank of its collective op this leg executes ("collective"
     # items only; one leg per rank, all sharing the same ``op``).
     collective_rank: int = 0
+    # The communication schedule the leg group drives ("collective" items
+    # only): the op's algorithm attr with "auto" resolved per payload and
+    # world size at lowering time.
+    collective_algorithm: Optional[str] = None
     # Per-output consumer counts (memory refcounting), filled by build_plan.
     consumer_counts: list = field(default_factory=list)
     # Dependency graph (static per plan), filled by build_plan: number of
@@ -89,6 +94,9 @@ class ExecutionPlan:
     placements: dict  # op name -> device string
     # Per-pass optimizer statistics recorded when the plan was built.
     pass_stats: list = field(default_factory=list)
+    # Collective op name -> resolved algorithm ("ring"/"tree"/...), the
+    # lowering's per-payload "auto" decisions; copied into RunMetadata.
+    collective_algorithms: dict = field(default_factory=dict)
 
     @property
     def tasks(self) -> list:
@@ -188,6 +196,8 @@ def build_plan(
     # graph op with one "collective" item per rank; output index r is
     # produced by leg r's single output slot).
     collective_legs: dict[str, list[Item]] = {}
+    # Collective op name -> resolved algorithm (lowering's "auto" picks).
+    collective_algorithms: dict[str, str] = {}
     # (tensor name, dst device) -> recv Item  (dedupe: one transfer feeds
     # every consumer of the tensor on that device).
     recv_cache: dict[tuple[str, str], Item] = {}
@@ -288,18 +298,36 @@ def build_plan(
             deps.extend(route_control(dep, device))
         return deps
 
+    def static_payload_nbytes(op: Operation) -> Optional[int]:
+        """Static per-rank buffer bytes of a collective, if known."""
+        for tensor in op.inputs:
+            if tensor.shape.is_fully_defined:
+                return tensor.shape.num_elements() * tensor.dtype.size
+        return None
+
     def lower_collective(op: Operation) -> None:
-        """Expand a collective op into one ring leg per rank.
+        """Expand a collective op into one schedule leg per rank.
 
         Each leg lands on its rank's device — explicit ``devices`` attr
         first, else colocated with the rank input's producer — takes only
-        its *own* rank's input through ``route_value`` (the ring traffic
-        itself is charged by the executor's shared ring schedule, never
-        by per-input send/recv fan-in), and produces output index
-        ``rank`` of the op as its single output slot.
+        its *own* rank's input through ``route_value`` (the collective
+        traffic itself is charged by the executor's shared schedule,
+        never by per-input send/recv fan-in), and produces output index
+        ``rank`` of the op as its single output slot. The op's
+        ``algorithm`` attr is resolved here: ``"auto"`` picks the
+        schedule per static payload size and world size
+        (:func:`repro.runtime.collective.select_algorithm` — tree for
+        latency-bound small allreduces, ring at bandwidth scale), and
+        the decision is recorded on the plan for ``RunMetadata``.
         """
         world = op.get_attr("world")
         devices_attr = op.get_attr("devices")
+        algorithm = op.get_attr("algorithm") or "auto"
+        if algorithm == "auto":
+            algorithm = collective_runtime.select_algorithm(
+                op.type, static_payload_nbytes(op), world
+            )
+        collective_algorithms[op.name] = algorithm
         if (
             op.type == "CollectiveBroadcast"
             and world > 1
@@ -350,6 +378,7 @@ def build_plan(
                     )
             leg = new_item(kind="collective", device=dev, op=op)
             leg.collective_rank = rank
+            leg.collective_algorithm = algorithm
             legs.append(leg)
         collective_legs[op.name] = legs
         for rank, leg in enumerate(legs):
@@ -462,6 +491,7 @@ def build_plan(
         devices_by_task=devices_by_task,
         placements=placements,
         pass_stats=pass_stats,
+        collective_algorithms=collective_algorithms,
     )
 
 

@@ -322,6 +322,7 @@ class Session:
         metadata.start_time = env.now
         metadata.pass_stats = list(plan.pass_stats)
         metadata.plan_items = len(plan.items)
+        metadata.collective_algorithms = dict(plan.collective_algorithms)
         metadata.plan_cache_hit = plan_cache_hit
         metadata.plan_cache_hits = self._plan_cache_hits
         metadata.plan_cache_misses = self._plan_cache_misses

@@ -1,26 +1,42 @@
-"""Ring collectives — the MPI-style primitives the paper points to.
+"""Collective algorithms — the MPI-style primitives the paper points to.
 
 The discussion section names Uber's Horovod and Cray's ML plugin as the
 way past the parameter-server/reducer model: "an MPI communication
 backend for functions such as allreduce without needing the use of
-dedicated servers". This module implements the classic bandwidth-optimal
-ring schedules over the simulated transports so the two designs can be
-compared head-to-head (see ``benchmarks/bench_collectives.py``), and it
-is the lowering target of the graph-level collective ops
-(:mod:`repro.core.ops.collective_ops`): a ``CollectiveAllReduce`` item
-group drives exactly these generators, so the op's simulated time is the
-standalone ring's time by construction.
+dedicated servers". This module implements the classic collective
+schedules over the simulated transports so the designs can be compared
+head-to-head (see ``benchmarks/bench_collective_algos.py``), and it is
+the lowering target of the graph-level collective ops
+(:mod:`repro.core.ops.collective_ops`): a lowered collective item group
+drives exactly these generators, so the op's simulated time is the
+standalone schedule's time by construction.
 
-Algorithm (allreduce): with ``W`` ranks the buffer is cut into ``W``
-chunks; ``W - 1`` reduce-scatter steps followed by ``W - 1`` allgather
-steps each move one chunk to the ring neighbour, all links active
-concurrently. Every rank sends and receives ``2 (W-1)/W`` of the buffer —
-independent of ``W`` — which is exactly why it beats a central reducer.
+The *algorithm* is a pluggable strategy: schedules register under
+``(op type, algorithm)`` via :func:`register_strategy`, and the
+partitioner resolves an op's ``algorithm="auto"`` attr per payload and
+world size through :func:`select_algorithm` at lowering time. Two
+allreduce schedules ship:
+
+* **ring** (bandwidth-optimal): the buffer is cut into ``W`` chunks;
+  ``W - 1`` reduce-scatter steps followed by ``W - 1`` allgather steps
+  each move one chunk to the ring neighbour, all links active
+  concurrently. Every rank sends and receives ``2 (W-1)/W`` of the
+  buffer — independent of ``W`` — which is exactly why it beats a
+  central reducer on big payloads.
+* **tree** (latency-optimal, recursive halving/doubling): ``log2 W``
+  rounds of full-buffer pairwise exchanges (plus a fold-in/fold-out
+  round pair for non-power-of-two worlds). ``O(log W)`` latency steps
+  instead of the ring's ``2 (W - 1)``, at ``log2(W)``× the wire bytes —
+  the right trade for scalars and small tensors.
+
+Every concrete schedule accumulates sums in rank order starting from
+zeros, so results are **byte-identical across algorithms**; only the
+simulated clock differs.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -33,8 +49,109 @@ __all__ = [
     "ring_allreduce",
     "ring_allgather",
     "ring_broadcast",
+    "ring_reduce_scatter",
+    "tree_allreduce",
     "allreduce_time_lower_bound",
+    "register_strategy",
+    "get_strategy",
+    "registered_algorithms",
+    "select_algorithm",
 ]
+
+# ---------------------------------------------------------------------------
+# strategy registry
+# ---------------------------------------------------------------------------
+
+# (op type, algorithm) -> schedule generator with the uniform signature
+# ``strategy(devices, values, protocol)``; one value per rank, in ring
+# order (a broadcast strategy reads its payload from ``values[0]``, the
+# root).
+_STRATEGIES: dict[tuple[str, str], Callable] = {}
+
+
+def register_strategy(op_type: str, algorithm: str):
+    """Decorator registering a schedule for ``(op_type, algorithm)``.
+
+    The decorated generator takes ``(devices, values, protocol)`` — one
+    simulated device and one per-rank value, ring order — yields DES
+    events for its communication steps, and returns the per-rank result
+    list. The executor's ``_CollectiveGroup`` rendezvous drives whatever
+    schedule is registered; adding an algorithm never touches the
+    executor.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        key = (op_type, algorithm)
+        if key in _STRATEGIES:
+            raise InvalidArgumentError(
+                f"Strategy {algorithm!r} for {op_type} is already registered"
+            )
+        _STRATEGIES[key] = fn
+        return fn
+
+    return wrap
+
+
+def get_strategy(op_type: str, algorithm: str) -> Callable:
+    """The registered schedule for ``(op_type, algorithm)``."""
+    try:
+        return _STRATEGIES[(op_type, algorithm)]
+    except KeyError:
+        raise InvalidArgumentError(
+            f"No {algorithm!r} algorithm registered for {op_type}; "
+            f"registered: {list(registered_algorithms(op_type)) or 'none'}"
+        ) from None
+
+
+def registered_algorithms(op_type: str) -> tuple[str, ...]:
+    """Algorithms registered for ``op_type``, sorted (drives sweeps)."""
+    return tuple(sorted(a for (t, a) in _STRATEGIES if t == op_type))
+
+
+# Nominal per-step fixed cost of the simulated fabrics, expressed as the
+# bytes a link moves in one protocol round trip (latency · bandwidth:
+# ~6 us RDMA setup x ~8 GB/s effective EDR). Only the *crossover* of the
+# auto rule depends on it; explicit algorithm= requests never consult it.
+AUTO_LATENCY_BANDWIDTH_BYTES = 48 * 1024
+
+
+def _tree_steps(world: int) -> int:
+    """Full-buffer exchange rounds of the halving/doubling schedule."""
+    if world < 2:
+        return 0
+    power = 1 << (world.bit_length() - 1)
+    extra = 0 if power == world else 2  # fold-in + fold-out rounds
+    return power.bit_length() - 1 + extra
+
+
+def select_algorithm(op_type: str, nbytes: Optional[int], world: int) -> str:
+    """Resolve ``algorithm="auto"`` for one lowered collective.
+
+    The model behind the rule: a ring step moves ``nbytes / W`` per link
+    and there are ``2 (W - 1)`` of them; a tree round moves the full
+    buffer and there are ``~log2 W``. With ``C`` the per-step fixed cost
+    in bytes (:data:`AUTO_LATENCY_BANDWIDTH_BYTES`), the tree wins iff
+
+        ``s_tree * (C + B) < s_ring * C + (s_ring / W) * B``
+
+    i.e. below a crossover payload proportional to ``C`` — small buffers
+    are latency-bound (the ring's ``2 (W-1)`` steps dominate), large ones
+    bandwidth-bound (the ring's ``2 (W-1)/W`` bytes win). Unknown static
+    payloads (``nbytes is None``) default to the bandwidth-safe ring.
+    """
+    if op_type != "CollectiveAllReduce" or world < 2:
+        return "ring"
+    if nbytes is None:
+        return "ring"
+    s_tree = _tree_steps(world)
+    s_ring = 2 * (world - 1)
+    if s_tree >= s_ring:
+        return "ring"
+    slope = s_tree - s_ring / world
+    if slope <= 0:
+        return "tree"  # fewer steps *and* no wire-byte penalty
+    crossover = AUTO_LATENCY_BANDWIDTH_BYTES * (s_ring - s_tree) / slope
+    return "tree" if nbytes <= crossover else "ring"
 
 
 def allreduce_time_lower_bound(nbytes: int, num_ranks: int, link_rate: float) -> float:
@@ -64,6 +181,7 @@ def _slowest_numpy_rate(devices: Sequence) -> float:
     return min(d.node.cpu.model.numpy_bytes_rate for d in devices)
 
 
+@register_strategy("CollectiveAllReduce", "ring")
 def ring_allreduce(
     devices: Sequence,
     values: Sequence,
@@ -136,6 +254,189 @@ def ring_allreduce(
     return result_per_rank
 
 
+def _allreduce_setup(devices: Sequence, values: Sequence):
+    """Shared validation + canonical result for every allreduce schedule.
+
+    Every algorithm returns the *same* per-rank values — concrete sums
+    accumulate in rank order starting from zeros — so algorithm choice
+    can only ever move the simulated clock, never the bytes.
+    """
+    specs = _validate_ring(devices, values)
+    world = len(devices)
+    for spec in specs[1:]:
+        if spec.shape != specs[0].shape or spec.dtype != specs[0].dtype:
+            raise InvalidArgumentError(
+                f"allreduce buffers disagree: {specs[0]} vs {spec}"
+            )
+    if any(isinstance(v, SymbolicValue) for v in values):
+        result_per_rank = [
+            SymbolicValue(specs[0].shape, specs[0].dtype) for _ in range(world)
+        ]
+    else:
+        total = np.zeros(specs[0].shape, dtype=specs[0].dtype.np_dtype)
+        for value in values:
+            total = total + np.asarray(value)
+        result_per_rank = [total.copy() for _ in range(world)]
+    return specs, result_per_rank
+
+
+@register_strategy("CollectiveAllReduce", "tree")
+def tree_allreduce(
+    devices: Sequence,
+    values: Sequence,
+    protocol: str = "rdma",
+) -> Iterator:
+    """Generator: latency-optimal allreduce by recursive halving/doubling.
+
+    With ``W = 2^k`` ranks: ``k`` rounds; in round ``j`` every rank
+    exchanges its **full** buffer with the partner at distance ``2^j``
+    and adds, all pairs concurrent. Non-power-of-two worlds fold the
+    ``r = W - 2^k`` extra ranks into their partners first (one round)
+    and fan the result back out last (one round). ``O(log W)`` latency
+    steps instead of the ring's ``2 (W - 1)``, at ``log2(W)`` x the wire
+    bytes — the winning trade for scalars and small tensors, losing at
+    bandwidth scale (``benchmarks/bench_collective_algos.py`` maps the
+    crossover).
+
+    Returns the per-rank reduced values, byte-identical to
+    :func:`ring_allreduce`'s (same canonical rank-order accumulation).
+    """
+    specs, result_per_rank = _allreduce_setup(devices, values)
+    world = len(devices)
+    if world == 1:
+        return result_per_rank
+
+    env: Environment = devices[0].env
+    nbytes = specs[0].nbytes
+    add_seconds = nbytes / _slowest_numpy_rate(devices)
+    power = 1 << (world.bit_length() - 1)
+    extras = world - power
+
+    def exchange(pairs):
+        """One round: every (a, b) trades full buffers, duplex links."""
+        moves = []
+        for a, b in pairs:
+            moves.append(env.process(
+                transports.transfer(devices[a], devices[b], nbytes, protocol),
+                name=f"tree:{a}->{b}",
+            ))
+            moves.append(env.process(
+                transports.transfer(devices[b], devices[a], nbytes, protocol),
+                name=f"tree:{b}->{a}",
+            ))
+        return AllOf(env, moves)
+
+    if extras:
+        # Fold-in: extra rank (power + i) sends its addend to partner i.
+        moves = [
+            env.process(
+                transports.transfer(
+                    devices[power + i], devices[i], nbytes, protocol
+                ),
+                name=f"tree:fold{power + i}->{i}",
+            )
+            for i in range(extras)
+        ]
+        yield AllOf(env, moves)
+        yield env.timeout(add_seconds)
+    distance = 1
+    while distance < power:
+        pairs = [
+            (rank, rank + distance)
+            for rank in range(power)
+            if rank & distance == 0
+        ]
+        yield exchange(pairs)
+        yield env.timeout(add_seconds)
+        distance <<= 1
+    if extras:
+        # Fold-out: partners return the finished sum to the extra ranks.
+        moves = [
+            env.process(
+                transports.transfer(
+                    devices[i], devices[power + i], nbytes, protocol
+                ),
+                name=f"tree:unfold{i}->{power + i}",
+            )
+            for i in range(extras)
+        ]
+        yield AllOf(env, moves)
+    return result_per_rank
+
+
+@register_strategy("CollectiveReduceScatter", "ring")
+def ring_reduce_scatter(
+    devices: Sequence,
+    values: Sequence,
+    protocol: str = "rdma",
+) -> Iterator:
+    """Generator: sum-reduce ``values``, leaving block ``r`` on rank ``r``.
+
+    The ring allreduce's first half standalone: ``W - 1`` steps each move
+    one axis-0 block to the ring neighbour (all links concurrent) and
+    reduce on arrival — every rank ends holding only its ``1/W`` share of
+    the sum, having moved ``(W-1)/W`` of the buffer. The primitive for
+    sharded-state updates that never need the full result per rank.
+
+    Requires equal rank >= 1 buffers whose leading dimension divides by
+    the world size. Returns one axis-0 block per rank (rank ``r`` gets
+    block ``r`` of the canonical rank-order sum).
+    """
+    specs = _validate_ring(devices, values)
+    world = len(devices)
+    for spec in specs[1:]:
+        if spec.shape != specs[0].shape or spec.dtype != specs[0].dtype:
+            raise InvalidArgumentError(
+                f"reduce_scatter buffers disagree: {specs[0]} vs {spec}"
+            )
+    if specs[0].ndim == 0:
+        raise InvalidArgumentError(
+            "reduce_scatter needs tensors of rank >= 1 (got a scalar)"
+        )
+    if specs[0].shape[0] % world != 0:
+        raise InvalidArgumentError(
+            f"reduce_scatter needs a leading dimension divisible by the "
+            f"world size: {specs[0].shape[0]} rows across {world} ranks"
+        )
+    rows = specs[0].shape[0] // world
+    block_shape = (rows, *specs[0].shape[1:])
+    if any(isinstance(v, SymbolicValue) for v in values):
+        result_per_rank = [
+            SymbolicValue(block_shape, specs[0].dtype) for _ in range(world)
+        ]
+    else:
+        total = np.zeros(specs[0].shape, dtype=specs[0].dtype.np_dtype)
+        for value in values:
+            total = total + np.asarray(value)
+        result_per_rank = [
+            np.ascontiguousarray(total[rank * rows:(rank + 1) * rows])
+            for rank in range(world)
+        ]
+    if world == 1:
+        return result_per_rank
+
+    env: Environment = devices[0].env
+    chunk = specs[0].nbytes // world
+    add_seconds = chunk / _slowest_numpy_rate(devices)
+    for _step in range(world - 1):
+        moves = []
+        for rank in range(world):
+            dst = (rank + 1) % world
+            moves.append(
+                env.process(
+                    transports.transfer(
+                        devices[rank], devices[dst], chunk, protocol
+                    ),
+                    name=f"reduce_scatter:{rank}->{dst}",
+                )
+            )
+        yield AllOf(env, moves)
+        # Every step reduces the arriving block into the local partial.
+        yield env.timeout(add_seconds)
+    return result_per_rank
+
+
+@register_strategy("CollectiveAllGather", "ring")
 def ring_allgather(
     devices: Sequence,
     values: Sequence,
@@ -255,3 +556,13 @@ def ring_broadcast(
                 )
         yield AllOf(env, moves)
     return result_per_rank
+
+
+@register_strategy("CollectiveBroadcast", "ring")
+def _broadcast_strategy(
+    devices: Sequence,
+    values: Sequence,
+    protocol: str = "rdma",
+) -> Iterator:
+    """Uniform-signature adapter: the root's payload is ``values[0]``."""
+    return ring_broadcast(devices, values[0], protocol, root=0)

@@ -92,6 +92,54 @@ class TestPerformance:
         assert result.weights is None and not result.trajectory
 
 
+MULTI = dict(d=12, blocks=3, num_workers=2, rows_per_worker=8, steps=5,
+             learning_rate=0.004)
+
+
+class TestMultiParameter:
+    def test_blocks_model_matches_reference(self):
+        """Per-layer weight blocks + bias: validated against the NumPy
+        reference byte for byte, trajectory entries span all params."""
+        result = run_sgd(mode="collective", **MULTI)
+        assert result.validated
+        # blocks weight chunks of d/blocks each, plus the scalar bias.
+        assert result.weights.shape == (MULTI["d"] + 1,)
+
+    def test_blocks_byte_identical_across_modes_and_frontends(self):
+        baseline = run_sgd(mode="collective", frontend="session", **MULTI)
+        for mode, frontend in (("reducer", "session"),
+                               ("collective", "function"),
+                               ("reducer", "function")):
+            other = run_sgd(mode=mode, frontend=frontend, **MULTI)
+            assert other.validated
+            assert baseline.loss_history == other.loss_history
+            for a, b in zip(baseline.trajectory, other.trajectory):
+                assert a.tobytes() == b.tobytes()
+
+    def test_momentum_matches_reference(self):
+        for mode in ("collective", "reducer"):
+            result = run_sgd(mode=mode, momentum=0.9, **SMALL)
+            assert result.validated, mode
+
+    def test_momentum_with_blocks_and_fusion(self):
+        fused = run_sgd(momentum=0.9, fusion=True, **MULTI)
+        plain = run_sgd(momentum=0.9, fusion=False, **MULTI)
+        assert fused.validated and plain.validated
+        for a, b in zip(fused.trajectory, plain.trajectory):
+            assert a.tobytes() == b.tobytes()
+
+    def test_momentum_actually_changes_the_update(self):
+        plain = run_sgd(mode="collective", **SMALL)
+        momentum = run_sgd(mode="collective", momentum=0.9, **SMALL)
+        assert momentum.validated  # i.e. it matches the momentum reference
+        # ...while genuinely applying a different (velocity) update.
+        assert momentum.weights.tobytes() != plain.weights.tobytes()
+
+    def test_indivisible_blocks_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            run_sgd(d=16, blocks=3)
+
+
 class TestValidation:
     def test_unknown_mode_rejected(self):
         with pytest.raises(InvalidArgumentError):

@@ -83,6 +83,33 @@ CASES = {
     "Neg": [(lambda x: tf.square(tf.negative(x)), [(4,)], False)],
     "Square": [(lambda x: tf.square(x), [(2, 3)], False)],
     "Sqrt": [(lambda x: tf.sqrt(x), [(2, 3)], True)],
+    "Exp": [(lambda x: tf.exp(x), [(2, 3)], False)],
+    "Sigmoid": [
+        (lambda x: tf.sigmoid(x), [(2, 3)], False),
+        # Logistic-regression shape: sigmoid of an affine score.
+        (lambda a, b: tf.square(tf.sigmoid(tf.matmul(a, b))),
+         [(3, 2), (2,)], False),
+    ],
+    "Maximum": [
+        (lambda x, y: tf.square(tf.maximum(x, y)), [(2, 3), (2, 3)], False),
+        # Broadcasting: the sub-gradient mask must reduce back per input.
+        (lambda x, y: tf.square(tf.maximum(x, y)), [(2, 3), (3,)], False),
+        (lambda x: tf.maximum(x, 0.5), [(2, 3)], False),  # relu-at-0.5
+    ],
+    "Concat": [
+        (lambda x, y: tf.square(tf.concat([x, y], axis=0)),
+         [(2, 3), (1, 3)], False),
+        (lambda x, y, z: tf.square(tf.concat([x, y, z], axis=1)),
+         [(2, 1), (2, 2), (2, 3)], False),
+    ],
+    "Slice": [
+        (lambda x: tf.square(tf.slice_(x, [1, 0], [2, 2])), [(4, 3)], False),
+        (lambda x: tf.square(tf.slice_(x, [1], [2])), [(5,)], False),
+        # Fused-bucket shape: slices of one buffer, both differentiated.
+        (lambda x: tf.add(
+            tf.reduce_sum(tf.square(tf.slice_(x, [0], [2]))),
+            tf.reduce_sum(tf.slice_(x, [2], [3]))), [(6,)], False),
+    ],
     "AddN": [
         # Repeated argument: contributions must accumulate.
         (lambda x, y: tf.square(tf.add_n([x, y, x])), [(3,), (3,)], False),
@@ -178,14 +205,14 @@ class TestBackwardWalk:
         np.testing.assert_allclose(sess.run(gw), [4.0, 6.0])
 
     def test_constant_data_branch_needs_no_gradient(self):
-        """Ops feeding the loss but independent of xs (e.g. a Concat of
+        """Ops feeding the loss but independent of xs (e.g. a Stack of
         constant data) must not require registered gradients."""
         g = tf.Graph()
         with g.as_default():
             x = tf.placeholder(tf.float64, [4], name="x")
-            data = tf.concat(
+            data = tf.reshape(tf.stack(
                 [tf.constant(np.ones(2)), tf.constant(np.zeros(2))], axis=0
-            )  # Concat has no gradient; it only touches constants
+            ), [4])  # Stack has no gradient; it only touches constants
             loss = tf.reduce_sum(tf.multiply(x, data))
             (gx,) = tf.gradients(loss, x)
         sess = tf.Session(graph=g)
@@ -276,7 +303,7 @@ class TestErrors:
         g = tf.Graph()
         with g.as_default():
             x = tf.placeholder(tf.float64, [4], name="x")
-            y = tf.concat([x, x], axis=0)
+            y = tf.stack([x, x], axis=0)  # Stack has no gradient
             with pytest.raises(InvalidArgumentError) as excinfo:
                 tf.gradients(tf.reduce_sum(y), x)
         assert "RegisterGradient" in str(excinfo.value)
@@ -358,6 +385,61 @@ class TestApplyGradients:
             x = tf.placeholder(tf.float64, [1], name="x")
             with pytest.raises(InvalidArgumentError):
                 tf.apply_gradients([(x, x)], 0.1)
+
+    def test_momentum_matches_reference(self):
+        """Two steps of classic momentum vs the hand-rolled recurrence
+        v = m v + g; w -= lr v, byte for byte."""
+        m, lr = 0.9, 0.25
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([1.0, -2.0]), name="w")
+            loss = tf.reduce_sum(tf.square(w.value()))
+            (gw,) = tf.gradients(loss, w)
+            updates = tf.apply_gradients([(gw, w)], learning_rate=lr,
+                                         momentum=m)
+        sess = tf.Session(graph=g)
+        for v in g.get_collection(tf.GraphKeys.GLOBAL_VARIABLES):
+            sess.run(v.initializer)
+        ref_w = np.array([1.0, -2.0])
+        ref_v = np.zeros(2)
+        for _ in range(2):
+            got = sess.run(updates[0])
+            ref_v = m * ref_v + 2.0 * ref_w
+            ref_w = ref_w - lr * ref_v
+            assert np.asarray(got).tobytes() == ref_w.tobytes()
+
+    def test_momentum_slot_lands_on_variable_device(self):
+        device = "/job:localhost/task:0/device:cpu:0"
+        g = tf.Graph()
+        with g.as_default():
+            with g.device(device):
+                w = tf.Variable(np.array([1.0]), name="w")
+            loss = tf.reduce_sum(tf.square(w.value()))
+            (gw,) = tf.gradients(loss, w)
+            tf.apply_gradients([(gw, w)], 0.1, momentum=0.5)
+            slots = [
+                v for v in g.get_collection(tf.GraphKeys.GLOBAL_VARIABLES)
+                if "momentum" in v.name
+            ]
+        assert len(slots) == 1
+        assert slots[0].device == device
+        assert slots[0].shape == w.shape and slots[0].dtype == w.dtype
+
+    def test_zero_momentum_adds_no_slots(self):
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([1.0]), name="w")
+            loss = tf.reduce_sum(tf.square(w.value()))
+            (gw,) = tf.gradients(loss, w)
+            tf.apply_gradients([(gw, w)], 0.1, momentum=0.0)
+        assert len(g.get_collection(tf.GraphKeys.GLOBAL_VARIABLES)) == 1
+
+    def test_negative_momentum_rejected(self):
+        g = tf.Graph()
+        with g.as_default():
+            w = tf.Variable(np.array([1.0]), name="w")
+            with pytest.raises(InvalidArgumentError):
+                tf.apply_gradients([(w.value(), w)], 0.1, momentum=-0.1)
 
     def test_minimize_groups_everything(self):
         g = tf.Graph()

@@ -37,6 +37,9 @@ CASES = [
     (("Neg",), "negative", (_V4,), {}),
     (("Square",), "square", (_V4,), {}),
     (("Sqrt",), "sqrt", (np.abs(_V4),), {}),
+    (("Exp",), "exp", (_V4,), {}),
+    (("Sigmoid",), "sigmoid", (_V4,), {}),
+    (("GreaterEqual",), "greater_equal", (_V4, _W4), {}),
     (("MatMul",), "matmul", (_M23, _M33), {}),
     (("MatMul",), "matmul", (_M33, _M33), {"transpose_b": True}),
     (("Dot",), "dot", (_V4, _W4), {}),
@@ -62,6 +65,7 @@ CASES = [
     (("FFT",), "fft", (_C8,), {}),
     (("IFFT",), "ifft", (_C8,), {}),
     (("CollectiveAllReduce",), "all_reduce", ([_V4, _W4],), {}),
+    (("CollectiveReduceScatter",), "reduce_scatter", ([_V4, _W4],), {}),
     (("CollectiveAllGather",), "all_gather", ([_V4, _W4],), {}),
     (("CollectiveBroadcast",), "broadcast", (_V4,),
      {"devices": ("/cpu:0", "/cpu:0", "/cpu:0")}),
