@@ -24,6 +24,9 @@ BENCH_SGD_JSON = os.path.join(RESULTS_DIR, "BENCH_sgd.json")
 BENCH_COLLECTIVE_ALGOS_JSON = os.path.join(
     RESULTS_DIR, "BENCH_collective_algos.json"
 )
+BENCH_FAULT_TOLERANCE_JSON = os.path.join(
+    RESULTS_DIR, "BENCH_fault_tolerance.json"
+)
 
 
 @pytest.fixture(scope="session")
@@ -142,5 +145,25 @@ def record_collective_algos_bench(_collective_algos_records):
 
     def record(name: str, **fields) -> None:
         _collective_algos_records[name] = fields
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def _fault_bench_records(results_dir):
+    """Accumulator for the robustness lane (BENCH_fault_tolerance.json)."""
+    records: dict = {}
+    yield records
+    _flush_records(BENCH_FAULT_TOLERANCE_JSON, records)
+
+
+@pytest.fixture
+def record_fault_bench(_fault_bench_records):
+    """Like ``record_bench``, flushed to ``BENCH_fault_tolerance.json``
+    — recovery overhead vs checkpoint interval and crash rate, tracked
+    across PRs."""
+
+    def record(name: str, **fields) -> None:
+        _fault_bench_records[name] = fields
 
     return record

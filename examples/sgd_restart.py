@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Fault tolerance: checkpoint-restart training through a worker crash.
+
+The paper leans on TensorFlow's checkpoint/restart support because HPC
+jobs outlive the mean time between node failures. This example injects
+a deterministic worker crash into data-parallel SGD and watches the
+whole recovery pipeline fire:
+
+* **injection** — a ``FaultPlan`` kills worker 1 at a chosen simulated
+  time (replayable: the same plan produces the same run, byte for byte);
+* **detection** — the session's ``operation_timeout_ms`` turns the lost
+  rank into a ``DeadlineExceededError`` naming exactly who is missing,
+  instead of a silent hang;
+* **recovery** — the driver restores every replica from the latest
+  intact ``Saver`` snapshot and replays; deterministic arithmetic makes
+  the recovered trajectory byte-identical to a fault-free run.
+
+Run:  python examples/sgd_restart.py
+"""
+
+import tempfile
+
+import numpy as np
+
+import repro as tf
+from repro.apps.common import build_cluster, task_device
+from repro.apps.sgd import run_sgd, run_sgd_restartable
+from repro.errors import DeadlineExceededError
+
+
+def detection_demo():
+    """A dropped collective rank is named, not waited on forever."""
+    handle = build_cluster("tegner-k420", {"worker": 2})
+    tf.FaultInjector(
+        tf.FaultPlan.single_crash("worker", 1, at=0.0)
+    ).install(handle.machine)
+
+    g = tf.Graph()
+    with g.as_default():
+        inputs = []
+        for w in range(2):
+            with g.device(task_device("worker", w, "cpu", 0)):
+                inputs.append(tf.constant(np.ones(8), name=f"x{w}"))
+        outs = tf.all_reduce(inputs)
+    sess = tf.Session(handle.server("worker", 0), graph=g,
+                      config=tf.SessionConfig(operation_timeout_ms=100.0))
+    try:
+        sess.run(outs)
+    except DeadlineExceededError as exc:
+        print(f"  detected: {exc}")
+
+
+def recovery_demo(checkpoint_dir):
+    """Crash mid-training, recover, and verify byte-identical replay."""
+    steps, workers = 10, 2
+    plan = tf.FaultPlan.single_crash("worker", 1, at=0.003,
+                                     restart_after=0.1)
+    res = run_sgd_restartable(
+        num_workers=workers, steps=steps, checkpoint_dir=checkpoint_dir,
+        checkpoint_every=3, fault_plan=plan, operation_timeout_ms=50.0,
+    )
+    for when, kind, detail in res.fault_log:
+        print(f"  t={when * 1e3:6.2f} ms  {kind}: {detail.splitlines()[0]}")
+    print(f"  recoveries: {res.recoveries}, steps replayed: "
+          f"{res.steps_replayed}, checkpoints written: "
+          f"{res.checkpoints_written}")
+    print(f"  injector fired: {res.injector_stats}")
+
+    clean = run_sgd(num_workers=workers, steps=steps, mode="collective")
+    identical = all(
+        np.asarray(a).tobytes() == np.asarray(b).tobytes()
+        for a, b in zip(res.trajectory, clean.trajectory)
+    )
+    assert res.validated and identical, "recovery must not change the math"
+    print(f"  recovered trajectory byte-identical to fault-free run "
+          f"({len(res.trajectory)} steps)")
+    print(f"  recovery cost: {res.elapsed * 1e3:.2f} sim ms vs "
+          f"{clean.elapsed * 1e3:.2f} fault-free")
+
+
+def main():
+    print("Detection — crash a rank before an allreduce:")
+    detection_demo()
+    print("\nRecovery — crash worker 1 mid-training, restart from the "
+          "latest snapshot:")
+    with tempfile.TemporaryDirectory() as tmp:
+        recovery_demo(tmp)
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,12 @@ from repro.core.graph import (
 from repro.core.metadata import RunMetadata, RunOptions
 from repro.core.ops import *  # noqa: F401,F403 — the flat op namespace
 from repro.core.ops import __all__ as _ops_all
+from repro.core.checkpoint import (
+    Saver,
+    checkpoint_step,
+    latest_checkpoint,
+    read_checkpoint,
+)
 from repro.core.optimizer import OptimizerOptions
 from repro.core.session import Session, SessionConfig
 from repro.core.tensor import SymbolicValue, Tensor, TensorShape
@@ -61,7 +67,15 @@ from repro.dtypes import (
     int64,
 )
 from repro.runtime.clusterspec import ClusterSpec
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.server import Server, ServerConfig
+from repro.simnet.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    MessageDrop,
+    WorkerCrash,
+)
 
 # Imported last: the tracing frontend builds on ops + sessions. After this,
 # ``repro.function`` is the decorator (the submodule stays importable as a
@@ -92,6 +106,16 @@ __all__ = [
     "ClusterSpec",
     "Server",
     "ServerConfig",
+    "Saver",
+    "checkpoint_step",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "RetryPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "WorkerCrash",
+    "LinkDegradation",
+    "MessageDrop",
     "ConcreteFunction",
     "TensorSpec",
     "TracedFunction",

@@ -20,7 +20,7 @@ is supported through :class:`repro.core.checkpoint.Saver`.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -32,17 +32,27 @@ from repro.apps.common import (
     session_config,
     task_device,
 )
-from repro.core.checkpoint import Saver
+from repro.core.checkpoint import Saver, latest_checkpoint, read_checkpoint
 from repro.core.tensor import SymbolicValue
-from repro.errors import InvalidArgumentError
+from repro.errors import (
+    DataLossError,
+    DeadlineExceededError,
+    InvalidArgumentError,
+    NotFoundError,
+    UnavailableError,
+)
 from repro.runtime.sync import QueueReducer
+from repro.simnet.events import Interrupt
+from repro.simnet.faults import FaultInjector
 
 __all__ = [
     "run_cg",
     "run_cg_single",
+    "run_cg_with_recovery",
     "cg_step",
     "CGResult",
     "CGSingleResult",
+    "CGRecoveryResult",
     "make_spd_problem",
 ]
 
@@ -63,6 +73,13 @@ class CGResult:
     # Total schedulable plan items across all sessions' cached plans —
     # the optimizer benchmark's item-count metric.
     plan_items: int = 0
+    # Fault outcome: the run was cut short by an injected worker loss
+    # (``crashed``); ``completed_step`` is the highest iteration number
+    # every worker had committed when the loss was detected, and
+    # ``fault_detail`` carries the detection exception's message.
+    crashed: bool = False
+    completed_step: int = 0
+    fault_detail: Optional[str] = None
 
     @property
     def flops(self) -> float:
@@ -124,6 +141,9 @@ def run_cg(
     cluster: Optional[ClusterHandle] = None,
     problem=None,
     optimize: Optional[bool] = None,
+    fault_plan=None,
+    start_step: int = 0,
+    resume_step: Optional[int] = None,
 ) -> CGResult:
     """Run the distributed CG solver.
 
@@ -132,7 +152,9 @@ def run_cg(
         num_gpus: worker count == row blocks (must divide n).
         iterations: fixed iteration count (paper: 500).
         checkpoint_dir/checkpoint_every: snapshot worker state every k
-            iterations (concrete mode).
+            iterations (concrete mode). Snapshots are step-tagged
+            (``cg_w{w}-{step}``) so a recovery driver can pick the
+            newest step *all* workers completed.
         resume_dir: restore worker state from checkpoints and skip setup.
         problem: optional concrete ``(A, b)`` pair (e.g. a discretized PDE,
             the paper's motivating CG use case); defaults to a random SPD
@@ -140,6 +162,15 @@ def run_cg(
         optimize: force plan-time graph optimization and the executor fast
             path on/off for every session (``None`` keeps the defaults);
             used by ``benchmarks/bench_optimizer.py`` for A/B comparisons.
+        fault_plan: a :class:`repro.simnet.faults.FaultPlan` to install
+            on the cluster. A worker crash interrupts that worker's sim
+            process; the run returns early with ``crashed=True`` instead
+            of hanging (use :func:`run_cg_with_recovery` to restart).
+        start_step: absolute iteration number this run starts at (resumed
+            runs); checkpoint tags continue from here.
+        resume_step: restore every worker from exactly
+            ``cg_w{w}-{resume_step}`` (a consistent cross-worker cut)
+            instead of each worker's newest checkpoint.
     """
     if n % num_gpus != 0:
         raise InvalidArgumentError(f"num_gpus {num_gpus} must divide n {n}")
@@ -149,6 +180,9 @@ def run_cg(
     )
     env = handle.env
     fs = handle.filesystem
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan).install(handle.machine)
     a_full, b_full = _store_problem(fs, n, num_gpus, shape_only, seed,
                                     problem=problem)
 
@@ -259,7 +293,7 @@ def run_cg(
                                  config=shape_cfg)
     reducer_node = handle.server("reducer", 0).runtime.node
     state = {"loop_start": None, "loop_end": None, "last_rs": None,
-             "ready": 0, "done": 0}
+             "ready": 0, "done": 0, "iters": [0] * num_gpus}
     # The timed region is the iteration loop only: workers barrier after
     # setup (their block loads straggle on shared NICs) and the clock stops
     # when the last worker completes its final iteration.
@@ -294,9 +328,20 @@ def run_cg(
     def worker_proc(w: int):
         sess = worker_sessions[w]
         if resume_dir is not None:
-            yield from savers[w].restore_gen(
-                sess, os.path.join(resume_dir, f"cg_w{w}")
-            )
+            if resume_step is not None:
+                path = os.path.join(resume_dir, f"cg_w{w}-{resume_step}")
+            else:
+                # Legacy untagged layout first, then the newest intact
+                # step-tagged snapshot (trailing dash so w=1 cannot
+                # match cg_w10-*).
+                path = os.path.join(resume_dir, f"cg_w{w}")
+                if not os.path.exists(path):
+                    path = latest_checkpoint(resume_dir, prefix=f"cg_w{w}-")
+                if path is None:
+                    raise NotFoundError(
+                        f"No checkpoint for worker {w} under {resume_dir!r}"
+                    )
+            yield from savers[w].restore_gen(sess, path)
         else:
             yield from sess.run_gen(setup_ops[w])
         state["ready"] += 1
@@ -306,21 +351,58 @@ def run_cg(
         yield start_barrier
         for it in range(iterations):
             _, rs_value = yield from sess.run_gen([step_ops[w], rs_fetches[w]])
+            state["iters"][w] = it + 1
             if w == 0:
                 state["last_rs"] = rs_value
             if (checkpoint_dir and checkpoint_every
                     and (it + 1) % checkpoint_every == 0):
                 yield from savers[w].save_gen(
-                    sess, os.path.join(checkpoint_dir, f"cg_w{w}")
+                    sess, os.path.join(checkpoint_dir, f"cg_w{w}"),
+                    global_step=start_step + it + 1,
                 )
         state["done"] += 1
         if state["done"] == num_gpus:
             state["loop_end"] = env.now
 
     procs = [env.process(worker_proc(w)) for w in range(num_gpus)]
+    if injector is not None:
+        for w, proc in enumerate(procs):
+            injector.register_worker("worker", w, proc)
     procs.append(env.process(reducer_proc()))
-    for proc in procs:
-        env.run(until=proc)
+    crashed = False
+    fault_detail = None
+    try:
+        for proc in procs:
+            env.run(until=proc)
+    except (Interrupt, DeadlineExceededError, UnavailableError) as exc:
+        # A registered worker process was killed (or a deadline fired on
+        # its peers): report the partial run instead of hanging. Recovery
+        # is driver-level — see run_cg_with_recovery.
+        crashed = True
+        fault_detail = f"{type(exc).__name__}: {exc}"
+    except RuntimeError as exc:
+        if fault_plan is None or "drained" not in str(exc):
+            raise
+        # The crash starved the calendar (e.g. the reducer parked on a
+        # queue the dead worker will never feed): same outcome.
+        crashed = True
+        fault_detail = f"deadlock after fault: {exc}"
+    if crashed:
+        elapsed = (env.now - state["loop_start"]
+                   if state["loop_start"] is not None else 0.0)
+        return CGResult(
+            system=system,
+            n=n,
+            num_gpus=num_gpus,
+            iterations=iterations,
+            elapsed=elapsed,
+            residual=float("nan"),
+            validated=False,
+            checkpoint_path=checkpoint_dir,
+            crashed=True,
+            completed_step=start_step + min(state["iters"]),
+            fault_detail=fault_detail,
+        )
     elapsed = state["loop_end"] - state["loop_start"]
 
     residual = float("nan")
@@ -351,6 +433,152 @@ def run_cg(
         checkpoint_path=checkpoint_dir,
         solution=x if not shape_only else None,
         plan_items=plan_items,
+        completed_step=start_step + min(state["iters"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint-restart recovery driver
+# ---------------------------------------------------------------------------
+
+def _common_checkpoint_step(checkpoint_dir: str,
+                            num_gpus: int) -> Optional[int]:
+    """Newest step at which EVERY worker has an intact checkpoint.
+
+    Workers checkpoint independently, so a crash mid-round can leave
+    worker 0 at step 6 and worker 1 at step 4; restoring a mixed cut
+    would corrupt the solve. Only steps present — and readable — for all
+    ``num_gpus`` workers qualify. Returns None when no consistent cut
+    exists (restart from scratch).
+    """
+    if not os.path.isdir(checkpoint_dir):
+        return None
+    per_worker: list[set] = []
+    for w in range(num_gpus):
+        prefix = f"cg_w{w}-"
+        steps = set()
+        for entry in os.listdir(checkpoint_dir):
+            if not entry.startswith(prefix) or entry.endswith(".tmp"):
+                continue
+            try:
+                steps.add(int(entry[len(prefix):]))
+            except ValueError:
+                continue
+        per_worker.append(steps)
+    for step in sorted(set.intersection(*per_worker), reverse=True):
+        try:
+            for w in range(num_gpus):
+                read_checkpoint(
+                    os.path.join(checkpoint_dir, f"cg_w{w}-{step}"))
+        except (DataLossError, NotFoundError):
+            continue
+        return step
+    return None
+
+
+@dataclass
+class CGRecoveryResult:
+    """Outcome of a fault-tolerant CG solve (restarts included)."""
+
+    system: str
+    n: int
+    num_gpus: int
+    iterations: int
+    checkpoint_every: int
+    total_elapsed: float  # simulated seconds summed across attempts
+    recoveries: int = 0  # cluster restarts performed
+    iterations_replayed: int = 0  # committed iterations recomputed
+    residual: float = float("nan")
+    validated: bool = False
+    solution: Optional[np.ndarray] = None
+    attempts: list = field(default_factory=list)  # CGResult per attempt
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Extra simulated time relative to the final (clean) attempt."""
+        clean = self.attempts[-1].elapsed if self.attempts else 0.0
+        return self.total_elapsed - clean
+
+
+def run_cg_with_recovery(
+    system: str = "kebnekaise-v100",
+    n: int = 64,
+    num_gpus: int = 2,
+    iterations: int = 20,
+    protocol: str = "grpc+verbs",
+    seed: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 5,
+    fault_plan=None,
+    max_restarts: int = 4,
+    problem=None,
+) -> CGRecoveryResult:
+    """Solve ``A x = b`` with checkpoint-restart across worker losses.
+
+    The paper's CG fault-tolerance story end to end: run the distributed
+    solver under a fault plan; when a worker is lost, find the newest
+    iteration *every* worker checkpointed (a consistent cut), bring up a
+    fresh cluster, restore all workers from that cut and continue the
+    remaining iterations. Deterministic arithmetic means the recovered
+    solution is byte-identical to an uninterrupted solve.
+
+    The fault plan is installed on the first attempt only — a restart
+    models replacement hardware, so consumed crash faults do not re-fire
+    on the recovered cluster.
+    """
+    if checkpoint_dir is None:
+        raise InvalidArgumentError("run_cg_with_recovery needs checkpoint_dir=")
+    if checkpoint_every < 1:
+        raise InvalidArgumentError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    if problem is None:
+        problem = make_spd_problem(n, seed)
+    attempts: list = []
+    plan = fault_plan
+    start_step = 0
+    resume_dir = None
+    resume_step = None
+    iterations_replayed = 0
+    while True:
+        res = run_cg(
+            system=system, n=n, num_gpus=num_gpus,
+            iterations=iterations - start_step, protocol=protocol,
+            shape_only=False, seed=seed, checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every, resume_dir=resume_dir,
+            problem=problem, fault_plan=plan, start_step=start_step,
+            resume_step=resume_step,
+        )
+        attempts.append(res)
+        if not res.crashed:
+            break
+        if len(attempts) > max_restarts:
+            raise UnavailableError(
+                f"CG solve still failing after {max_restarts} restarts: "
+                f"{res.fault_detail}"
+            )
+        plan = None
+        common = _common_checkpoint_step(checkpoint_dir, num_gpus)
+        iterations_replayed += res.completed_step - (common or 0)
+        if common is None:
+            start_step, resume_dir, resume_step = 0, None, None
+        else:
+            start_step, resume_dir, resume_step = (
+                common, checkpoint_dir, common)
+    final = attempts[-1]
+    return CGRecoveryResult(
+        system=system,
+        n=n,
+        num_gpus=num_gpus,
+        iterations=iterations,
+        checkpoint_every=checkpoint_every,
+        total_elapsed=sum(a.elapsed for a in attempts),
+        recoveries=len(attempts) - 1,
+        iterations_replayed=iterations_replayed,
+        residual=final.residual,
+        validated=final.validated,
+        solution=final.solution,
+        attempts=attempts,
     )
 
 

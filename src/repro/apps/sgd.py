@@ -45,6 +45,7 @@ are byte-identical across frontends too.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -57,12 +58,21 @@ from repro.apps.common import (
     session_config,
     task_device,
 )
-from repro.errors import InvalidArgumentError
+from repro.core.checkpoint import Saver, checkpoint_step, latest_checkpoint
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidArgumentError,
+    UnavailableError,
+)
+from repro.runtime.retry import RetryPolicy
+from repro.simnet.faults import FaultInjector
 
 __all__ = [
     "SGDResult",
+    "SGDRestartResult",
     "make_regression_problem",
     "run_sgd",
+    "run_sgd_restartable",
     "sgd_reference",
 ]
 
@@ -464,4 +474,209 @@ def run_sgd(
         trace_count=trace_count,
         pass_stats=list(first_step_metadata.pass_stats),
         collective_algorithms=dict(first_step_metadata.collective_algorithms),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant training: checkpoint-restart around the same step graph
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SGDRestartResult:
+    """Outcome of one fault-tolerant SGD run."""
+
+    system: str
+    d: int
+    num_workers: int
+    steps: int
+    checkpoint_every: int
+    elapsed: float  # simulated seconds, training loop incl. recovery
+    recoveries: int = 0  # checkpoint restores performed
+    steps_replayed: int = 0  # committed steps recomputed after restores
+    checkpoints_written: int = 0
+    loss_history: list = field(default_factory=list)
+    trajectory: list = field(default_factory=list)
+    weights: Optional[np.ndarray] = None
+    validated: bool = False  # byte-identical to the fault-free reference
+    # (sim time, exception class name, message) per detected fault.
+    fault_log: list = field(default_factory=list)
+    injector_stats: dict = field(default_factory=dict)
+    metadata_retries: int = 0
+    metadata_deadlines: int = 0
+
+    @property
+    def seconds_per_step(self) -> float:
+        return self.elapsed / max(self.steps, 1)
+
+
+def run_sgd_restartable(
+    system: str = "tegner-k420",
+    d: int = 32,
+    num_workers: int = 2,
+    rows_per_worker: int = 16,
+    steps: int = 10,
+    learning_rate: float = 0.005,
+    seed: int = 0,
+    protocol: str = "grpc+verbs",
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 5,
+    fault_plan=None,
+    operation_timeout_ms: float = 250.0,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_recovery_attempts: int = 8,
+    recovery_backoff: float = 0.05,
+    mode: str = "collective",
+    blocks: int = 1,
+    momentum: float = 0.0,
+    algorithm: str = "auto",
+) -> SGDRestartResult:
+    """Train the data-parallel regression with checkpoint-restart.
+
+    The same step graph as :func:`run_sgd`, wrapped in the paper's
+    fault-tolerance loop: a per-run deadline turns a lost worker into
+    :class:`DeadlineExceededError` instead of a hang, transient message
+    drops are retried with exponential backoff, and on worker loss the
+    driver backs off (in simulated time, letting a scheduled restart
+    land), restores every replica from the latest intact checkpoint and
+    replays from there. Because the step arithmetic is deterministic and
+    a restore overwrites any partially-applied update, the recovered
+    weight trajectory is **byte-identical** to a fault-free run — which
+    this function verifies against the NumPy reference.
+
+    Args:
+        checkpoint_dir: where ``Saver`` snapshots land (required).
+        checkpoint_every: snapshot every k committed steps (plus one at
+            step 0, so a crash before the first snapshot can recover).
+        fault_plan: a :class:`repro.simnet.faults.FaultPlan` to install
+            (None = fault-free; the driver still checkpoints).
+        operation_timeout_ms: per-run deadline in simulated ms.
+        retry_policy: backoff for transient sends (None = the default
+            :class:`RetryPolicy`).
+        max_recovery_attempts: restore attempts per detected fault
+            before giving up and re-raising.
+        recovery_backoff: initial driver-level backoff (simulated
+            seconds) before a restore attempt; doubles per retry.
+    """
+    if checkpoint_dir is None:
+        raise InvalidArgumentError("run_sgd_restartable needs checkpoint_dir=")
+    if checkpoint_every < 1:
+        raise InvalidArgumentError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    handle = build_cluster(
+        system, {"chief": 1, "worker": num_workers}, protocol=protocol
+    )
+    env = handle.env
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan).install(handle.machine)
+    devs = [task_device("worker", w, "cpu", 0) for w in range(num_workers)]
+    chief_device = task_device("chief", 0, "cpu", 0)
+    data = make_regression_problem(d, rows_per_worker, num_workers, seed)[:2]
+
+    config = session_config(shape_only=False)
+    config.operation_timeout_ms = operation_timeout_ms
+    config.retry_policy = retry_policy or RetryPolicy()
+
+    g = tf.Graph()
+    with g.as_default():
+        loss_fetch, updates, _all_vars, num_params = _build_step(
+            num_workers, d, rows_per_worker, data, learning_rate, mode,
+            devs, chief_device, shape_only=False, blocks=blocks,
+            momentum=momentum, algorithm=algorithm,
+        )
+        step_op = tf.group(*[u.op for u in updates], name="train", graph=g)
+    sess = tf.Session(handle.server("chief", 0), graph=g, config=config)
+    metadata = tf.RunMetadata()
+    for v in g.get_collection(tf.GraphKeys.GLOBAL_VARIABLES):
+        sess.run(v.initializer, run_metadata=metadata)
+    saver = Saver(graph=g)
+    prefix = os.path.join(checkpoint_dir, "sgd")
+
+    loss_history: list = []
+    trajectory: list = []
+    fault_log: list = []
+    recoveries = 0
+    steps_replayed = 0
+    step = 0
+
+    def recover() -> int:
+        """Back off, restore from the newest intact checkpoint, return
+        the step it encodes. Restores themselves ride the same deadline
+        machinery, so a still-down worker just triggers the next retry."""
+        delay = recovery_backoff
+        last_exc: Optional[BaseException] = None
+        for _ in range(max_recovery_attempts):
+            env.run(until=env.timeout(delay))
+            delay *= 2.0
+            path = latest_checkpoint(checkpoint_dir, prefix="sgd-")
+            if path is None:
+                continue
+            try:
+                saver.restore(sess, path)
+            except (DeadlineExceededError, UnavailableError) as exc:
+                last_exc = exc
+                continue
+            return checkpoint_step(path)
+        raise last_exc if last_exc is not None else UnavailableError(
+            f"No recoverable checkpoint under {checkpoint_dir!r} after "
+            f"{max_recovery_attempts} attempts"
+        )
+
+    start = env.now
+    saver.save(sess, prefix, global_step=0)
+    checkpoints_written = 1
+    while step < steps:
+        try:
+            values = sess.run(
+                [loss_fetch, *updates[:num_params], step_op],
+                run_metadata=metadata,
+            )
+            step += 1
+            loss_history.append(float(values[0]))
+            trajectory.append(np.concatenate(
+                [np.reshape(np.asarray(v), -1)
+                 for v in values[1:1 + num_params]]
+            ))
+            if step % checkpoint_every == 0:
+                saver.save(sess, prefix, global_step=step)
+                checkpoints_written += 1
+        except (DeadlineExceededError, UnavailableError) as exc:
+            recoveries += 1
+            fault_log.append((env.now, type(exc).__name__, str(exc)))
+            restored = recover()
+            steps_replayed += step - restored
+            del loss_history[restored:]
+            del trajectory[restored:]
+            step = restored
+    elapsed = env.now - start
+
+    weights = trajectory[-1]
+    _, ref_losses, ref_traj = sgd_reference(
+        data[0], data[1], steps, learning_rate, blocks=blocks,
+        momentum=momentum,
+    )
+    validated = bool(
+        len(trajectory) == len(ref_traj)
+        and all(np.array_equal(a, b) for a, b in zip(trajectory, ref_traj))
+        and loss_history == ref_losses
+    )
+    return SGDRestartResult(
+        system=system,
+        d=d,
+        num_workers=num_workers,
+        steps=steps,
+        checkpoint_every=checkpoint_every,
+        elapsed=elapsed,
+        recoveries=recoveries,
+        steps_replayed=steps_replayed,
+        checkpoints_written=checkpoints_written,
+        loss_history=loss_history,
+        trajectory=trajectory,
+        weights=weights,
+        validated=validated,
+        fault_log=fault_log,
+        injector_stats=dict(injector.stats) if injector else {},
+        metadata_retries=metadata.retries,
+        metadata_deadlines=metadata.deadline_exceeded,
     )

@@ -28,7 +28,12 @@ from repro.core.serialization import (
 )
 from repro.errors import DataLossError, InvalidArgumentError, NotFoundError
 
-__all__ = ["Saver", "latest_checkpoint"]
+__all__ = [
+    "Saver",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "checkpoint_step",
+]
 
 _MAGIC = b"RPCK"  # "repro checkpoint"
 _VERSION = 1
@@ -85,8 +90,17 @@ class Saver:
             _write_str(stream, name)
             _write_bytes(stream, serialize_tensor(value))
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-        with open(path, "wb") as handle:
+        # Crash-atomic: write a temp file in the same directory, flush to
+        # stable storage, then rename over the target. A crash mid-save
+        # leaves either the previous complete checkpoint or a stray
+        # ``.tmp`` (which latest_checkpoint ignores) — never a truncated
+        # file under the real name.
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
             handle.write(stream.getvalue())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
         return path
 
     # -- restore -----------------------------------------------------------------
@@ -128,7 +142,12 @@ class Saver:
 
 
 def read_checkpoint(path: str) -> dict:
-    """Raw contents of a checkpoint file: variable name -> value."""
+    """Raw contents of a checkpoint file: variable name -> value.
+
+    Truncated or corrupt files raise :class:`DataLossError` naming the
+    path (never a bare struct/decode crash), so callers can fall back to
+    an older checkpoint.
+    """
     if not os.path.exists(path):
         raise NotFoundError(f"No checkpoint at {path!r}")
     with open(path, "rb") as handle:
@@ -139,25 +158,57 @@ def read_checkpoint(path: str) -> dict:
     if version != _VERSION:
         raise DataLossError(f"Unsupported checkpoint version {version}")
     entries = {}
-    for _ in range(decode_varint(stream)):
-        name = _read_str(stream)
-        entries[name] = deserialize_tensor(_read_bytes(stream))
+    try:
+        for _ in range(decode_varint(stream)):
+            name = _read_str(stream)
+            entries[name] = deserialize_tensor(_read_bytes(stream))
+    except DataLossError as exc:
+        raise DataLossError(f"Corrupt checkpoint {path!r}: {exc}") from exc
+    except (ValueError, UnicodeDecodeError) as exc:
+        # Garbage past a valid header: bad lengths, undecodable names.
+        raise DataLossError(f"Corrupt checkpoint {path!r}: {exc}") from exc
     return entries
 
 
-def latest_checkpoint(directory: str, prefix: str = "ckpt") -> Optional[str]:
-    """Highest-step checkpoint file under ``directory`` (or None)."""
+def checkpoint_step(path: str) -> int:
+    """The global step encoded in a ``prefix-STEP`` checkpoint path."""
+    step_text = os.path.basename(path).rpartition("-")[2]
+    try:
+        return int(step_text)
+    except ValueError:
+        raise InvalidArgumentError(
+            f"Checkpoint path {path!r} carries no -STEP suffix"
+        ) from None
+
+
+def latest_checkpoint(directory: str, prefix: str = "ckpt",
+                      validate: bool = True) -> Optional[str]:
+    """Highest-step *readable* checkpoint under ``directory`` (or None).
+
+    In-progress ``.tmp`` files are ignored, and (with ``validate``, the
+    default) candidates that fail :func:`read_checkpoint` — truncated or
+    bad-magic leftovers of a crash — are skipped in favour of the next
+    older step, so a fault-recovery driver always restores from the
+    newest *intact* snapshot.
+    """
     if not os.path.isdir(directory):
         return None
-    best: tuple[int, Optional[str]] = (-1, None)
+    candidates: list[tuple[int, str]] = []
     for entry in os.listdir(directory):
-        if not entry.startswith(prefix):
+        if not entry.startswith(prefix) or entry.endswith(".tmp"):
             continue
         step_text = entry.rpartition("-")[2]
         try:
             step = int(step_text)
         except ValueError:
             continue
-        if step > best[0]:
-            best = (step, os.path.join(directory, entry))
-    return best[1]
+        candidates.append((step, os.path.join(directory, entry)))
+    for _step, path in sorted(candidates, reverse=True):
+        if not validate:
+            return path
+        try:
+            read_checkpoint(path)
+            return path
+        except (DataLossError, NotFoundError):
+            continue
+    return None

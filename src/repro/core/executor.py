@@ -46,11 +46,24 @@ from repro.core.kernels.registry import KernelContext, get_kernel
 from repro.core.metadata import NodeStats, RunMetadata, TransferStats
 from repro.core.partition import FEED, ExecutionPlan, Item, _job_task_of
 from repro.core.tensor import value_nbytes
-from repro.errors import InternalError
+from repro.errors import DeadlineExceededError, InternalError
+from repro.runtime.retry import retry_gen
 from repro.simnet import transports
 from repro.simnet.events import AllOf, Environment, Event
 
-__all__ = ["ExecutionState", "launch_plan"]
+__all__ = [
+    "ExecutionState",
+    "launch_plan",
+    "DEFAULT_COLLECTIVE_JOIN_TIMEOUT",
+]
+
+# Default deadline (simulated seconds) on a collective's rank rendezvous.
+# Far above any legitimate single-op completion in this codebase's
+# workloads (the largest modelled transfers finish in seconds), so a
+# rank that never arrives — a crashed worker, a stalled producer chain —
+# turns a silent deadlock into a DeadlineExceededError naming the
+# missing ranks. ``SessionConfig.operation_timeout_ms`` overrides it.
+DEFAULT_COLLECTIVE_JOIN_TIMEOUT = 300.0
 
 # Ops that block on external conditions and must not occupy a device slot
 # while waiting (a blocked dequeue would otherwise starve the device).
@@ -102,15 +115,22 @@ class _CollectiveGroup:
     straggling producer on a peer rank can never deadlock the ring.
     """
 
-    __slots__ = ("world", "devices", "values", "arrived", "done", "results")
+    __slots__ = ("op_name", "world", "devices", "values", "arrived",
+                 "arrived_ranks", "done", "results")
 
-    def __init__(self, env: Environment, world: int):
+    def __init__(self, env: Environment, world: int, op_name: str = ""):
+        self.op_name = op_name
         self.world = world
         self.devices: list = [None] * world
         self.values: list = [None] * world
         self.arrived = 0
+        self.arrived_ranks: list[int] = []
         self.done = env.event()
         self.results: Optional[list] = None
+
+    def missing_ranks(self) -> list[int]:
+        present = set(self.arrived_ranks)
+        return [r for r in range(self.world) if r not in present]
 
 
 class ExecutionState:
@@ -130,6 +150,9 @@ class ExecutionState:
         metadata: Optional[RunMetadata] = None,
         trace: bool = False,
         fast_path: bool = True,
+        deadline_seconds: Optional[float] = None,
+        retry_policy=None,
+        fault_injector=None,
     ):
         self.env = env
         self.plan = plan
@@ -143,6 +166,16 @@ class ExecutionState:
         self.metadata = metadata
         self.trace = trace
         self.fast_path = fast_path
+        # Fault tolerance: per-run deadline (None = no run watchdog, but
+        # collectives still get DEFAULT_COLLECTIVE_JOIN_TIMEOUT), retry
+        # policy for transient transport faults, and the machine's fault
+        # injector (None when no faults are installed).
+        self.deadline_seconds = deadline_seconds
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        # Items parked because their task is down (diagnostics).
+        self.stalled_items: list[Item] = []
+        self._jobtask_cache: dict[str, tuple[str, int]] = {}
         self._allocations: dict[tuple[int, int], _Allocation] = {}
         self._var_memory: dict[str, tuple[Any, int]] = {}
         # Collective op name -> this run's rank-leg rendezvous.
@@ -197,13 +230,78 @@ class ExecutionState:
             self._ctx_cache[device] = ctx
         return ctx
 
+    def task_down(self, device: str) -> bool:
+        """True when ``device``'s task is currently crashed."""
+        if self.fault_injector is None:
+            return False
+        jobtask = self._jobtask_cache.get(device)
+        if jobtask is None:
+            jobtask = self._jobtask_cache[device] = _job_task_of(device)
+        return self.fault_injector.is_down(*jobtask)
+
+    def park_stalled(self, item: Item) -> None:
+        """Record an item stalled on a down task; a peer's deadline or
+        the run watchdog reports it (the item itself never completes)."""
+        self.stalled_items.append(item)
+        if self.metadata is not None:
+            self.metadata.stalled_items += 1
+
+    def count_deadline(self) -> None:
+        if self.metadata is not None:
+            self.metadata.deadline_exceeded += 1
+
     def collective_group(self, item: Item) -> _CollectiveGroup:
-        """The (per-run) rank rendezvous of ``item``'s collective op."""
+        """The (per-run) rank rendezvous of ``item``'s collective op.
+
+        Created on the first leg's arrival, armed with a join watchdog:
+        if the remaining ranks have not arrived within the run deadline
+        (or :data:`DEFAULT_COLLECTIVE_JOIN_TIMEOUT`), ``done`` fails
+        with :class:`DeadlineExceededError` naming arrived and missing
+        ranks — a dropped rank can never silently deadlock the ring.
+        """
         group = self._collective_groups.get(item.op.name)
         if group is None:
-            group = _CollectiveGroup(self.env, item.op.get_attr("world"))
+            group = _CollectiveGroup(
+                self.env, item.op.get_attr("world"), item.op.name
+            )
             self._collective_groups[item.op.name] = group
+            self._arm_group_watchdog(group)
         return group
+
+    def _arm_group_watchdog(self, group: _CollectiveGroup) -> None:
+        timeout_s = (
+            self.deadline_seconds
+            if self.deadline_seconds is not None
+            else DEFAULT_COLLECTIVE_JOIN_TIMEOUT
+        )
+        watchdog = self.env.timeout(timeout_s)
+
+        def expire(_ev):
+            if group.done.triggered:
+                return
+            missing = group.missing_ranks()
+            if not missing:
+                # Every rank joined; the schedule itself is still in
+                # flight (a long transfer). That is the run watchdog's
+                # jurisdiction, not the join deadline's.
+                return
+            down = (
+                self.fault_injector.down_tasks() if self.fault_injector else []
+            )
+            detail = (
+                f" (tasks down: {down})" if down else ""
+            )
+            self.count_deadline()
+            # Defuse: with no leg waiting yet, an undefused failure would
+            # abort the simulation loop instead of surfacing per-run.
+            group.done.fail(DeadlineExceededError(
+                f"Collective {group.op_name!r} join deadline of "
+                f"{timeout_s:g} sim-seconds exceeded: rank(s) {missing} of "
+                f"world {group.world} never arrived "
+                f"(arrived: {sorted(group.arrived_ranks)}){detail}"
+            )).defused()
+
+        watchdog.callbacks.append(expire)
 
     # -- memory refcounting -------------------------------------------------------
     def register_outputs(self, item: Item, outputs: list) -> int:
@@ -287,6 +385,35 @@ def launch_plan(state: ExecutionState) -> Optional[Event]:
     return _Dispatcher(state).start()
 
 
+def _item_desc(item: Item) -> str:
+    if item.op is not None:
+        return f"{item.kind}:{item.op.name}@{item.device}"
+    if item.kind in ("send", "recv"):
+        return f"{item.kind}:{item.key}"
+    return f"{item.kind}:{item.uid}@{item.device}"
+
+
+def _run_deadline_message(state: ExecutionState, timeout_s: float,
+                          remaining: int) -> str:
+    """Diagnostic for a run-level deadline: what is stuck, and why."""
+    parts = [
+        f"Session run exceeded operation timeout of {timeout_s:g} "
+        f"sim-seconds: {remaining} of {len(state.plan.items)} plan items "
+        f"incomplete"
+    ]
+    if state.stalled_items:
+        stalled = [_item_desc(it) for it in state.stalled_items[:4]]
+        parts.append(f"items stalled on down tasks: {stalled}")
+    if state.fault_injector is not None:
+        down = state.fault_injector.down_tasks()
+        if down:
+            parts.append(f"tasks down: {down}")
+    pending = state.rendezvous.pending_keys()
+    if pending:
+        parts.append(f"rendezvous keys still waiting: {pending[:4]}")
+    return "; ".join(parts)
+
+
 def _legacy_launch(state: ExecutionState) -> Event:
     """Spawn every item as a process up front (the pre-optimizer design)."""
     env = state.env
@@ -299,7 +426,38 @@ def _legacy_launch(state: ExecutionState) -> Event:
         processes.append(proc)
     if state.metadata is not None:
         state.metadata.process_items += len(processes)
-    return AllOf(env, processes)
+    inner = AllOf(env, processes)
+    if state.deadline_seconds is None:
+        return inner
+    # Run watchdog, legacy lane: mirror the fast path's per-run deadline
+    # by racing the AllOf against a timeout through a wrapper event. The
+    # run-level backstop fires at twice the operation deadline so the
+    # sharper per-op watchdogs (collective join, recv) report first.
+    done = env.event()
+    timeout_s = state.deadline_seconds * 2.0
+
+    def forward(ev):
+        if not ev._ok:
+            ev._defused = True
+        if done.triggered:
+            return
+        if ev._ok:
+            done.succeed(ev._value)
+        else:
+            done.fail(ev._value)
+
+    def expire(_ev):
+        if done.triggered or inner.triggered:
+            return
+        state.count_deadline()
+        remaining = sum(1 for p in processes if p.is_alive)
+        done.fail(DeadlineExceededError(
+            _run_deadline_message(state, timeout_s, remaining)
+        ))
+
+    inner.callbacks.append(forward)
+    env.timeout(timeout_s).callbacks.append(expire)
+    return done
 
 
 def _legacy_dependencies(item: Item) -> list:
@@ -319,9 +477,18 @@ def _legacy_dependencies(item: Item) -> list:
 
 
 def _legacy_item_proc(state: ExecutionState, item: Item):
+    if state.task_down(item.device):
+        # The task died: park forever on a fresh event. Peers' deadlines
+        # (collective join, recv, run watchdog) report the loss.
+        state.park_stalled(item)
+        yield state.env.event()
     deps = _legacy_dependencies(item)
     if deps:
         yield AllOf(state.env, deps)
+    if state.task_down(item.device):
+        # Crashed while waiting on producers (the fault fired mid-run).
+        state.park_stalled(item)
+        yield state.env.event()
     yield from _item_proc(state, item)
 
 
@@ -337,12 +504,37 @@ class _Dispatcher:
         self.remaining = len(state.plan.items)
         self.done = self.env.event()
         self.finished = False
+        self.faults = state.fault_injector
 
     def start(self) -> Event:
+        if self.state.deadline_seconds is not None:
+            self._arm_run_watchdog()
         self._dispatch(
             item for item in self.state.plan.items if item.num_deps == 0
         )
         return self.done
+
+    def _arm_run_watchdog(self) -> None:
+        """Fail the run if any item is still incomplete at the deadline.
+
+        The run-level backstop fires at twice the operation deadline:
+        the per-op watchdogs (collective join, recv) run at 1x and carry
+        the sharper diagnostics (which ranks/keys stalled), so they get
+        first claim on failing the run.
+        """
+        state = self.state
+        timeout_s = state.deadline_seconds * 2.0
+        watchdog = self.env.timeout(timeout_s)
+
+        def expire(_ev):
+            if self.finished:
+                return
+            state.count_deadline()
+            self._fail(DeadlineExceededError(_run_deadline_message(
+                state, timeout_s, self.remaining
+            )))
+
+        watchdog.callbacks.append(expire)
 
     # -- completion bookkeeping ------------------------------------------------
     def _completed(self, item: Item) -> list[Item]:
@@ -374,6 +566,11 @@ class _Dispatcher:
                 return  # a failure was reported: stop feeding new work
             item = queue.popleft()
             try:
+                if self.faults is not None and self.state.task_down(item.device):
+                    # The item's task is crashed: park it (never completes).
+                    # Peers' deadlines surface the loss as an error.
+                    self.state.park_stalled(item)
+                    continue
                 if item.kind == "const":
                     _finish_const(self.state, item)
                     self._count_fast()
@@ -465,10 +662,22 @@ class _Dispatcher:
         if present:
             deliver(value)
             return
-        event = state.rendezvous.recv(item.key)
-        event.callbacks.append(
-            lambda _ev: self._guard(lambda: deliver(event._value))
+        event = state.rendezvous.recv(
+            item.key, deadline=state.deadline_seconds
         )
+
+        def on_event(_ev):
+            if event._ok:
+                self._guard(lambda: deliver(event._value))
+            else:
+                # Failed recv (deadline, dead producer): surface the
+                # exception instead of delivering it as a tensor value.
+                event._defused = True
+                if isinstance(event._value, DeadlineExceededError):
+                    state.count_deadline()
+                self._fail(event._value)
+
+        event.callbacks.append(on_event)
 
     # -- light lane: op ----------------------------------------------------------
     def _start_op(self, item: Item) -> bool:
@@ -679,7 +888,20 @@ def _run_send(state: ExecutionState, item: Item):
     src_dev = state.device_obj(item.device)
     dst_dev = state.device_obj(item.dst_device)
     start = env.now
-    yield from transports.transfer(src_dev, dst_dev, nbytes, state.protocol)
+
+    def count_retry(_exc, _delay):
+        if state.metadata is not None:
+            state.metadata.retries += 1
+
+    # Transient transport faults (injected message drops) surface as
+    # UnavailableError; with a retry policy configured the send backs
+    # off and re-sends, otherwise the first failure propagates.
+    yield from retry_gen(
+        env,
+        lambda: transports.transfer(src_dev, dst_dev, nbytes, state.protocol),
+        state.retry_policy,
+        on_retry=count_retry,
+    )
     state.rendezvous.send(item.key, value)
     if item.sources:
         producer, idx = item.sources[0]
@@ -700,7 +922,13 @@ def _run_send(state: ExecutionState, item: Item):
 
 
 def _run_recv(state: ExecutionState, item: Item):
-    value = yield state.rendezvous.recv(item.key)
+    try:
+        value = yield state.rendezvous.recv(
+            item.key, deadline=state.deadline_seconds
+        )
+    except DeadlineExceededError:
+        state.count_deadline()
+        raise
     item.out_values = [value]
     if value is not None:
         state.register_outputs(item, [value])
@@ -746,6 +974,7 @@ def _run_collective(state: ExecutionState, item: Item):
     if item.sources:
         group.values[rank] = state.resolve_source(item.sources[0])
     group.arrived += 1
+    group.arrived_ranks.append(rank)
     if state.metadata is not None:
         state.metadata.collective_items += 1
     if group.arrived == group.world:

@@ -116,6 +116,13 @@ class RunMetadata:
     plan_cache_misses: int = 0
     trace_cache_hits: int = 0
     trace_cache_misses: int = 0
+    # Fault-tolerance accounting: deadline expiries observed during the
+    # run (collective join / recv / run watchdog), transport sends
+    # retried under the session's RetryPolicy, and plan items parked
+    # because their task was down when they became ready.
+    deadline_exceeded: int = 0
+    retries: int = 0
+    stalled_items: int = 0
 
     @property
     def wall_time(self) -> float:

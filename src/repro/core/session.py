@@ -35,6 +35,7 @@ from repro.core.tensor import Tensor
 from repro.errors import InvalidArgumentError, NotFoundError
 from repro.runtime.clusterspec import ClusterSpec
 from repro.runtime.rendezvous import Rendezvous
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.server import Server, ServerConfig
 from repro.simnet.events import Environment
 from repro.simnet.gpu import GENERIC_GPU, GPUModel
@@ -83,6 +84,18 @@ class SessionConfig:
     # Dependency-counting executor: dispatch zero-cost, non-blocking items
     # inline instead of spawning a simulator process per plan item.
     executor_fast_path: bool = True
+    # Per-run deadline in *simulated* milliseconds (None = no run-level
+    # watchdog; collectives still carry their default join timeout). When
+    # a run cannot finish in time — a crashed worker, a dropped rank —
+    # it fails with DeadlineExceededError naming the stuck items instead
+    # of hanging the simulation. Mirrors tf.ConfigProto's
+    # operation_timeout_in_ms.
+    operation_timeout_ms: Optional[float] = None
+    # Retry policy for transient transport faults (UnavailableError on
+    # send edges): None = fail fast, or a
+    # :class:`repro.runtime.retry.RetryPolicy` for capped exponential
+    # backoff over simulated time.
+    retry_policy: Optional["RetryPolicy"] = None
 
 
 class Session:
@@ -348,6 +361,13 @@ class Session:
             metadata=metadata,
             trace=trace,
             fast_path=self.config.executor_fast_path,
+            deadline_seconds=(
+                self.config.operation_timeout_ms / 1000.0
+                if self.config.operation_timeout_ms is not None
+                else None
+            ),
+            retry_policy=self.config.retry_policy,
+            fault_injector=getattr(self.machine, "faults", None),
         )
         self._plans_in_flight.add(id(plan))
         try:

@@ -8,9 +8,9 @@ values match exactly once.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
-from repro.errors import InternalError
+from repro.errors import DeadlineExceededError, InternalError
 from repro.simnet.events import Environment, Event
 
 __all__ = ["Rendezvous", "make_key"]
@@ -29,6 +29,7 @@ class Rendezvous:
         self._waiters: dict[str, list[Event]] = {}
         self.sends = 0
         self.recvs = 0
+        self.deadline_failures = 0
 
     def send(self, key: str, value: Any) -> None:
         """Deposit ``value``; wakes all waiting receivers."""
@@ -39,18 +40,40 @@ class Rendezvous:
         for event in self._waiters.pop(key, ()):
             event.succeed(value)
 
-    def recv(self, key: str) -> Event:
+    def recv(self, key: str, deadline: Optional[float] = None) -> Event:
         """Event delivering the value sent under ``key``.
 
         Multiple receivers of the same key all get the value (one send may
-        feed several consumers on the destination device).
+        feed several consumers on the destination device). With a
+        ``deadline`` (simulated seconds), a value that has not arrived in
+        time fails the event with :class:`DeadlineExceededError` naming
+        the key — a dead producer surfaces as an error instead of a hang.
         """
         self.recvs += 1
         event = Event(self.env)
         if key in self._values:
             event.succeed(self._values[key])
-        else:
-            self._waiters.setdefault(key, []).append(event)
+            return event
+        self._waiters.setdefault(key, []).append(event)
+        if deadline is not None:
+            timeout = self.env.timeout(deadline)
+
+            def expire(_ev):
+                if event.triggered:
+                    return
+                waiters = self._waiters.get(key)
+                if waiters and event in waiters:
+                    waiters.remove(event)
+                    if not waiters:
+                        del self._waiters[key]
+                self.deadline_failures += 1
+                event.fail(DeadlineExceededError(
+                    f"recv deadline of {deadline:g} sim-seconds exceeded "
+                    f"for rendezvous key {key!r}: the producer never sent "
+                    f"(worker lost or stalled)"
+                ))
+
+            timeout.callbacks.append(expire)
         return event
 
     def recv_nowait(self, key: str) -> tuple[bool, Any]:

@@ -15,6 +15,13 @@ from repro.simnet.events import (
     Process,
     Timeout,
 )
+from repro.simnet.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    MessageDrop,
+    WorkerCrash,
+)
 from repro.simnet.resources import BandwidthLink, Resource, Store
 
 __all__ = [
@@ -28,4 +35,9 @@ __all__ = [
     "Resource",
     "Store",
     "BandwidthLink",
+    "FaultPlan",
+    "FaultInjector",
+    "WorkerCrash",
+    "LinkDegradation",
+    "MessageDrop",
 ]

@@ -88,6 +88,9 @@ class Machine:
         self.nodes: dict[str, Node] = {}
         # host:port -> Server (populated by repro.runtime.server.Server).
         self.address_table: dict[str, object] = {}
+        # Set by FaultInjector.install(); transports and the executor
+        # consult it when present.
+        self.faults = None
 
     # -- construction ----------------------------------------------------------
     def add_node(

@@ -255,6 +255,19 @@ class BandwidthLink:
     def current_rate_per_flow(self) -> float:
         return self.rate / len(self._flows) if self._flows else self.rate
 
+    def set_rate(self, rate: float) -> None:
+        """Change the link rate mid-simulation (fault injection).
+
+        In-flight flows are credited their progress at the old rate up
+        to now, then continue at the new rate; completions are
+        rescheduled accordingly.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._advance()
+        self.rate = float(rate)
+        self._reschedule()
+
     def transfer(self, nbytes: float) -> Event:
         """Start a transfer; the event succeeds when the last byte arrives."""
         if nbytes < 0:

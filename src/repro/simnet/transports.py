@@ -92,6 +92,15 @@ def transfer(src_device, dst_device, nbytes: int, protocol: str = "rdma") -> Ite
     if _same_node(src_device, dst_device):
         yield from _local_transfer(env, src_device, dst_device, nbytes)
         return
+    # Inter-node messages pass through the machine's fault injector (if
+    # one is installed): drops raise UnavailableError on the sender,
+    # degraded links charge extra latency before the wire.
+    faults = getattr(src_device.node.machine, "faults", None)
+    if faults is not None:
+        extra = faults.on_message(src_device.node, dst_device.node, nbytes,
+                                  protocol)
+        if extra > 0.0:
+            yield env.timeout(extra)
     if protocol == "rdma":
         yield from _rdma_transfer(env, src_device, dst_device, nbytes)
     elif protocol == "mpi":

@@ -1,0 +1,133 @@
+"""Coordinator stop protocol: request_stop propagation, stop_on_exception."""
+
+import pytest
+
+import repro as tf
+from repro.errors import CancelledError, InternalError, OutOfRangeError
+from repro.runtime.coordinator import Coordinator
+from repro.simnet.events import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestRequestStop:
+    def test_request_stop_sets_should_stop(self, env):
+        coord = Coordinator(env)
+        assert not coord.should_stop()
+        coord.request_stop()
+        assert coord.should_stop()
+
+    def test_request_stop_with_exception_reraises_in_join(self, env):
+        coord = Coordinator(env)
+        coord.request_stop(InternalError("worker 3 died"))
+
+        def supervisor():
+            yield from coord.join()
+
+        proc = env.process(supervisor())
+        with pytest.raises(InternalError, match="worker 3 died"):
+            env.run(until=proc)
+
+    def test_first_recorded_exception_wins(self, env):
+        coord = Coordinator(env)
+        coord.request_stop(InternalError("first"))
+        coord.request_stop(InternalError("second"))
+
+        def supervisor():
+            yield from coord.join()
+
+        proc = env.process(supervisor())
+        with pytest.raises(InternalError, match="first"):
+            env.run(until=proc)
+
+    def test_workers_observe_stop_and_join_cleanly(self, env):
+        coord = Coordinator(env)
+        loops = {"n": 0}
+
+        def worker():
+            while not coord.should_stop():
+                loops["n"] += 1
+                yield env.timeout(0.1)
+
+        def stopper():
+            yield env.timeout(0.55)
+            coord.request_stop()
+
+        coord.register(env.process(worker()))
+        env.process(stopper())
+
+        def supervisor():
+            yield env.timeout(0.0)
+            yield from coord.join()
+
+        proc = env.process(supervisor())
+        env.run(until=proc)  # no exception: clean shutdown
+        assert loops["n"] == 6
+
+    def test_join_with_no_processes_is_immediate(self, env):
+        coord = Coordinator(env)
+
+        def supervisor():
+            yield from coord.join()
+            return "done"
+
+        proc = env.process(supervisor())
+        assert env.run(until=proc) == "done"
+
+
+class TestStopOnException:
+    def test_out_of_range_absorbed_as_clean_shutdown(self, env):
+        coord = Coordinator(env)
+        assert coord.stop_on_exception(OutOfRangeError("input exhausted"))
+        assert coord.should_stop()
+
+        def supervisor():
+            yield from coord.join()
+
+        env.run(until=env.process(supervisor()))  # nothing re-raised
+
+    def test_cancelled_absorbed_as_clean_shutdown(self, env):
+        coord = Coordinator(env)
+        assert coord.stop_on_exception(CancelledError("queue closed"))
+        assert coord.should_stop()
+
+    def test_real_error_recorded_and_propagated(self, env):
+        coord = Coordinator(env)
+        exc = tf.errors.DeadlineExceededError("collective join timed out")
+        assert not coord.stop_on_exception(exc)
+        assert coord.should_stop()
+
+        def supervisor():
+            yield from coord.join()
+
+        proc = env.process(supervisor())
+        with pytest.raises(tf.errors.DeadlineExceededError,
+                           match="collective join timed out"):
+            env.run(until=proc)
+
+    def test_worker_crash_pattern_end_to_end(self, env):
+        """The fault-tolerance consumer pattern: a training loop absorbs
+        shutdown signals via stop_on_exception and re-raises real faults
+        out of join() for the recovery driver to catch."""
+        coord = Coordinator(env)
+
+        def trainer():
+            try:
+                yield env.timeout(0.1)
+                raise tf.errors.UnavailableError("worker lost mid-step")
+            except tf.errors.ReproError as exc:
+                if not coord.stop_on_exception(exc):
+                    return  # recorded; supervisor re-raises
+
+        coord.register(env.process(trainer()))
+
+        def supervisor():
+            yield from coord.join()
+
+        proc = env.process(supervisor())
+        with pytest.raises(tf.errors.UnavailableError,
+                           match="worker lost mid-step"):
+            env.run(until=proc)

@@ -234,6 +234,28 @@ class TestBandwidthLink:
         with pytest.raises(ValueError):
             link.transfer(-1)
 
+    def test_set_rate_mid_transfer_conserves_bytes(self, env):
+        link = BandwidthLink(env, rate=100.0)
+        done = []
+
+        def proc():
+            yield link.transfer(100.0)
+            done.append(env.now)
+
+        def throttle():
+            yield env.timeout(0.5)  # 50 bytes moved at 100 B/s
+            link.set_rate(10.0)  # remaining 50 bytes take 5 s
+
+        env.process(proc())
+        env.process(throttle())
+        env.run()
+        assert done == [pytest.approx(5.5)]
+
+    def test_set_rate_rejects_nonpositive(self, env):
+        link = BandwidthLink(env, rate=100.0)
+        with pytest.raises(ValueError):
+            link.set_rate(0.0)
+
     def test_two_equal_transfers_share_fairly(self, env):
         link = BandwidthLink(env, rate=100.0)
         done = []
