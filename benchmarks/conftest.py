@@ -27,6 +27,7 @@ BENCH_COLLECTIVE_ALGOS_JSON = os.path.join(
 BENCH_FAULT_TOLERANCE_JSON = os.path.join(
     RESULTS_DIR, "BENCH_fault_tolerance.json"
 )
+BENCH_SERVING_JSON = os.path.join(RESULTS_DIR, "BENCH_serving.json")
 
 
 @pytest.fixture(scope="session")
@@ -165,5 +166,25 @@ def record_fault_bench(_fault_bench_records):
 
     def record(name: str, **fields) -> None:
         _fault_bench_records[name] = fields
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def _serving_bench_records(results_dir):
+    """Accumulator for the serving lane (BENCH_serving.json)."""
+    records: dict = {}
+    yield records
+    _flush_records(BENCH_SERVING_JSON, records)
+
+
+@pytest.fixture
+def record_serving_bench(_serving_bench_records):
+    """Like ``record_bench``, flushed to ``BENCH_serving.json`` — the
+    multi-tenant front-door's throughput and tail-latency trajectory
+    (workers x batch size x offered load) tracked across PRs."""
+
+    def record(name: str, **fields) -> None:
+        _serving_bench_records[name] = fields
 
     return record

@@ -77,6 +77,10 @@ from repro.simnet.faults import (
     WorkerCrash,
 )
 
+# The serving front-door builds on sessions; imported late so the layer
+# below it is fully assembled first.
+from repro.serving import ModelServer, ServingConfig
+
 # Imported last: the tracing frontend builds on ops + sessions. After this,
 # ``repro.function`` is the decorator (the submodule stays importable as a
 # module path, exactly like ``tf.function`` vs TF's internal modules).
@@ -116,6 +120,8 @@ __all__ = [
     "WorkerCrash",
     "LinkDegradation",
     "MessageDrop",
+    "ModelServer",
+    "ServingConfig",
     "ConcreteFunction",
     "TensorSpec",
     "TracedFunction",

@@ -11,6 +11,11 @@ from repro.apps.cg import CGResult, run_cg
 from repro.apps.common import ClusterHandle, build_cluster
 from repro.apps.fft import FFTResult, run_fft
 from repro.apps.matmul import MatmulResult, run_matmul
+from repro.apps.serving import (
+    ServingLoadResult,
+    build_mlp_server,
+    run_serving_load,
+)
 from repro.apps.sgd import SGDResult, run_sgd
 from repro.apps.stencil import StencilResult, run_stencil
 from repro.apps.stream import StreamResult, run_stream
@@ -30,4 +35,7 @@ __all__ = [
     "StencilResult",
     "run_sgd",
     "SGDResult",
+    "build_mlp_server",
+    "run_serving_load",
+    "ServingLoadResult",
 ]

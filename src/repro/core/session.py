@@ -19,6 +19,7 @@ concurrently inside one simulation (the paper's worker/reducer pattern).
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
@@ -98,6 +99,30 @@ class SessionConfig:
     retry_policy: Optional["RetryPolicy"] = None
 
 
+@dataclass
+class _PreparedRun:
+    """One run's plan plus everything needed to execute and reassemble it.
+
+    Produced by :meth:`Session._prepare_run` (thread-safe, simulator not
+    involved); consumed by :meth:`Session._execute_gen`. ``released``
+    tracks whether the plan's in-flight registration has been dropped,
+    so release is idempotent between the coroutine's own ``finally`` and
+    the :meth:`Session.run` backstop.
+    """
+
+    plan: Any
+    feeds: dict
+    structure: tuple
+    slots: list
+    fetch_tensors: list
+    task_runtimes: dict
+    run_id: int
+    plan_cache_hit: bool
+    cache_hits: int
+    cache_misses: int
+    released: bool = False
+
+
 class Session:
     """Encapsulates one client's connection to a (simulated) runtime."""
 
@@ -156,6 +181,22 @@ class Session:
         self._plans_in_flight: set[int] = set()
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
+        self._plan_cache_evictions = 0
+        # Concurrency: many OS threads may call run() on one shared
+        # Session (the serving front-door does exactly this). Two locks
+        # with distinct jobs:
+        #   _cache_lock guards every _plan_cache / counter /
+        #     _plans_in_flight access, and makes lookup + in-flight
+        #     registration one atomic step — without it two threads can
+        #     grab the *same* plan object and race on its items' runtime
+        #     state, or interleave OrderedDict mutations mid-eviction.
+        #   _run_lock serializes driving the discrete-event simulator
+        #     (env.process + env.run); the DES calendar is a plain heap
+        #     with no internal synchronization. Plan preparation (fetch
+        #     parsing, feed validation, build_plan) happens *outside*
+        #     _run_lock so threads overlap the expensive Python work.
+        self._cache_lock = threading.Lock()
+        self._run_lock = threading.RLock()
 
     # -- context management ----------------------------------------------------
     def __enter__(self) -> "Session":
@@ -260,25 +301,47 @@ class Session:
 
     def run(self, fetches, feed_dict=None, options: Optional[RunOptions] = None,
             run_metadata: Optional[RunMetadata] = None):
-        """Execute the graph; blocks until the simulated run completes."""
+        """Execute the graph; blocks until the simulated run completes.
+
+        Thread-safe: concurrent callers prepare their plans (fetch
+        parsing, feed validation, plan build / cache lookup) in parallel
+        and serialize only on driving the simulator.
+        """
         self._check_open()
-        proc = self.env.process(
-            self.run_gen(fetches, feed_dict, options, run_metadata),
-            name="session.run",
-        )
-        return self.env.run(until=proc)
+        prepared = self._prepare_run(fetches, feed_dict)
+        try:
+            with self._run_lock:
+                proc = self.env.process(
+                    self._execute_gen(prepared, options, run_metadata),
+                    name="session.run",
+                )
+                return self.env.run(until=proc)
+        finally:
+            # Normally the coroutine's own finally releases; this backstop
+            # covers a drive aborted before the coroutine ever started.
+            self._release_prepared(prepared)
 
     def run_gen(self, fetches, feed_dict=None, options: Optional[RunOptions] = None,
                 run_metadata: Optional[RunMetadata] = None):
         """Coroutine version of :meth:`run` for concurrent sim processes."""
         # Non-generator wrapper so misuse (closed session) raises at the
         # call site rather than when the simulator first advances the
-        # returned coroutine.
+        # returned coroutine. The plan is prepared (and registered in
+        # flight) eagerly, for the same reason.
         self._check_open()
-        return self._run_gen(fetches, feed_dict, options, run_metadata)
+        prepared = self._prepare_run(fetches, feed_dict)
+        return self._execute_gen(prepared, options, run_metadata)
 
-    def _run_gen(self, fetches, feed_dict, options, run_metadata):
-        env = self.env
+    def _prepare_run(self, fetches, feed_dict) -> "_PreparedRun":
+        """Everything before the simulator: parse, validate, get a plan.
+
+        Cache lookup and in-flight registration are a single atomic step
+        under ``_cache_lock``: a concurrent same-key caller either finds
+        the plan already in flight (and builds its own duplicate, exactly
+        as the DES-level concurrency path always has) or takes ownership
+        itself — two callers can never share one plan's item state.
+        ``build_plan`` for a miss runs outside the lock.
+        """
         run_id = next(_RUN_IDS)
         structure, fetch_ops, fetch_tensors, slots = self._parse_fetches(fetches)
         feeds = self._validate_feeds(_normalize_feeds(feed_dict))
@@ -293,15 +356,26 @@ class Session:
             tuple(sorted(feeds)),
             self.graph.version,
         )
-        plan = self._plan_cache.get(cache_key)
-        if plan is not None:
-            self._plan_cache.move_to_end(cache_key)
-        plan_cache_hit = plan is not None and id(plan) not in self._plans_in_flight
-        if plan_cache_hit:
-            self._plan_cache_hits += 1
-        else:
-            self._plan_cache_misses += 1
-        if not plan_cache_hit:
+        with self._cache_lock:
+            plan = self._plan_cache.get(cache_key)
+            if plan is not None:
+                self._plan_cache.move_to_end(cache_key)
+            plan_cache_hit = (
+                plan is not None and id(plan) not in self._plans_in_flight
+            )
+            if plan_cache_hit:
+                self._plan_cache_hits += 1
+                self._plans_in_flight.add(id(plan))
+                # Reset per-run state; rendezvous keys may repeat because
+                # every run gets a fresh Rendezvous instance.
+                for item in plan.items:
+                    item.process = None
+                    item.out_values = None
+            else:
+                self._plan_cache_misses += 1
+                plan = None
+            hits, misses = self._plan_cache_hits, self._plan_cache_misses
+        if plan is None:
             plan = build_plan(
                 self.graph,
                 fetch_ops,
@@ -317,15 +391,41 @@ class Session:
                 ),
                 symbolic=self.config.shape_only,
             )
-            self._plan_cache[cache_key] = plan
-            self._plan_cache.move_to_end(cache_key)
-            self._evict_plans()
-        else:
-            # Reset per-run state; rendezvous keys may repeat because every
-            # run gets a fresh Rendezvous instance.
-            for item in plan.items:
-                item.process = None
-                item.out_values = None
+            with self._cache_lock:
+                self._plan_cache[cache_key] = plan
+                self._plan_cache.move_to_end(cache_key)
+                self._plans_in_flight.add(id(plan))
+                self._evict_plans()
+        return _PreparedRun(
+            plan=plan,
+            feeds=feeds,
+            structure=structure,
+            slots=slots,
+            fetch_tensors=fetch_tensors,
+            task_runtimes=task_runtimes,
+            run_id=run_id,
+            plan_cache_hit=plan_cache_hit,
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def _release_prepared(self, prepared: "_PreparedRun") -> None:
+        """Drop a prepared run's in-flight registration (idempotent)."""
+        with self._cache_lock:
+            if not prepared.released:
+                prepared.released = True
+                self._plans_in_flight.discard(id(prepared.plan))
+
+    def _execute_gen(self, prepared: "_PreparedRun", options, run_metadata):
+        env = self.env
+        plan = prepared.plan
+        feeds = prepared.feeds
+        run_id = prepared.run_id
+        structure = prepared.structure
+        fetch_tensors = prepared.fetch_tensors
+        slots = prepared.slots
+        task_runtimes = prepared.task_runtimes
+        plan_cache_hit = prepared.plan_cache_hit
         if self.config.log_device_placement:
             for name, device in sorted(plan.placements.items()):
                 print(f"{name}: ({device})")
@@ -337,8 +437,8 @@ class Session:
         metadata.plan_items = len(plan.items)
         metadata.collective_algorithms = dict(plan.collective_algorithms)
         metadata.plan_cache_hit = plan_cache_hit
-        metadata.plan_cache_hits = self._plan_cache_hits
-        metadata.plan_cache_misses = self._plan_cache_misses
+        metadata.plan_cache_hits = prepared.cache_hits
+        metadata.plan_cache_misses = prepared.cache_misses
 
         remote_tasks = [
             key
@@ -369,7 +469,6 @@ class Session:
             retry_policy=self.config.retry_policy,
             fault_injector=getattr(self.machine, "faults", None),
         )
-        self._plans_in_flight.add(id(plan))
         try:
             done = launch_plan(state)
             if done is not None:
@@ -383,7 +482,7 @@ class Session:
                     values.append(item.out_values[idx])
         finally:
             state.release_all()
-            self._plans_in_flight.discard(id(plan))
+            self._release_prepared(prepared)
         metadata.end_time = env.now
 
         if structure[0] == "single":
@@ -425,12 +524,13 @@ class Session:
     def _evict_plans(self) -> None:
         """Bound the plan cache, never dropping a plan a run still holds.
 
-        Eviction is LRU-first but skips plans registered in
-        ``_plans_in_flight``: a concurrent ``run_gen`` holds item-level
-        runtime state on the plan's items, and dropping its cache entry
-        mid-run would let a same-key rerun rebuild (and re-cache) a
-        duplicate plan while the first still executes. If every cached
-        plan is mid-run the cache temporarily overflows instead.
+        Caller must hold ``_cache_lock``. Eviction is LRU-first but skips
+        plans registered in ``_plans_in_flight``: a concurrent ``run_gen``
+        holds item-level runtime state on the plan's items, and dropping
+        its cache entry mid-run would let a same-key rerun rebuild (and
+        re-cache) a duplicate plan while the first still executes. If
+        every cached plan is mid-run the cache temporarily overflows
+        instead.
         """
         if len(self._plan_cache) <= _PLAN_CACHE_CAPACITY:
             return
@@ -442,6 +542,7 @@ class Session:
         excess = len(self._plan_cache) - _PLAN_CACHE_CAPACITY
         for key in evictable[:excess]:
             del self._plan_cache[key]
+            self._plan_cache_evictions += 1
 
     def plan_cache_info(self) -> dict:
         """Cached-plan statistics.
@@ -450,13 +551,20 @@ class Session:
         the metric the optimizer benchmarks track across PRs. ``hits`` /
         ``misses`` are cumulative per-run lookup counters (also surfaced
         per run through :class:`~repro.core.metadata.RunMetadata`).
+        ``capacity`` is the LRU bound and ``evictions`` counts entries
+        dropped to honour it — together they make serving-layer cache
+        pressure (many live signatures churning a bounded cache)
+        observable.
         """
-        return {
-            "plans": len(self._plan_cache),
-            "items": sum(len(p.items) for p in self._plan_cache.values()),
-            "hits": self._plan_cache_hits,
-            "misses": self._plan_cache_misses,
-        }
+        with self._cache_lock:
+            return {
+                "plans": len(self._plan_cache),
+                "items": sum(len(p.items) for p in self._plan_cache.values()),
+                "hits": self._plan_cache_hits,
+                "misses": self._plan_cache_misses,
+                "capacity": _PLAN_CACHE_CAPACITY,
+                "evictions": self._plan_cache_evictions,
+            }
 
     def list_devices(self) -> list[str]:
         names = []

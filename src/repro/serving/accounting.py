@@ -1,0 +1,157 @@
+"""Per-tenant accounting over the shared Session's RunMetadata.
+
+Each batch run produces one :class:`~repro.core.metadata.RunMetadata`;
+the accountant attributes it to every tenant that rode the batch:
+request counts, batch occupancy (how much coalescing the tenant's
+traffic actually got), plan-cache hits, queue wait, and the typed
+rejections from admission and dispatch. Thread-safe — worker threads and
+client threads record concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["TenantStats", "TenantAccountant"]
+
+
+@dataclass
+class TenantStats:
+    """Cumulative serving statistics for one tenant."""
+
+    tenant: str
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0  # batch run raised; error propagated to the client
+    rejected_queue_full: int = 0
+    rejected_quota: int = 0
+    # Deadline expiries: at admission (dead on arrival) or at dispatch
+    # (expired while queued) — both surface as DeadlineExceededError.
+    rejected_deadline: int = 0
+    # Batch runs this tenant participated in, and the coalesced batch
+    # sizes its completed requests rode (occupancy = their mean).
+    batches: int = 0
+    batch_size_total: int = 0
+    # Completed requests whose batch run reused a cached execution plan.
+    plan_cache_hit_requests: int = 0
+    queue_wait_total_s: float = 0.0
+    run_wall_total_s: float = 0.0  # host seconds inside Session.run
+    sim_time_total_s: float = 0.0  # RunMetadata simulated wall time
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.rejected_queue_full
+            + self.rejected_quota
+            + self.rejected_deadline
+        )
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean requests per batch run, over this tenant's completions."""
+        if not self.completed:
+            return 0.0
+        return self.batch_size_total / self.completed
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return self.queue_wait_total_s / self.completed
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        if not self.completed:
+            return 0.0
+        return self.plan_cache_hit_requests / self.completed
+
+
+class TenantAccountant:
+    """Thread-safe registry of :class:`TenantStats`."""
+
+    _REJECTION_FIELDS = {
+        "queue_full": "rejected_queue_full",
+        "quota": "rejected_quota",
+        "deadline": "rejected_deadline",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stats: dict[str, TenantStats] = {}
+
+    def _get(self, tenant: str) -> TenantStats:
+        stats = self._stats.get(tenant)
+        if stats is None:
+            stats = self._stats[tenant] = TenantStats(tenant=tenant)
+        return stats
+
+    def record_submitted(self, tenant: str) -> None:
+        with self._lock:
+            self._get(tenant).submitted += 1
+
+    def record_rejection(self, tenant: str, reason: str) -> None:
+        field_name = self._REJECTION_FIELDS.get(reason)
+        with self._lock:
+            stats = self._get(tenant)
+            if field_name is None:
+                stats.failed += 1
+            else:
+                setattr(stats, field_name, getattr(stats, field_name) + 1)
+
+    def record_failure(self, tenant: str) -> None:
+        with self._lock:
+            self._get(tenant).failed += 1
+
+    def record_completion(
+        self,
+        tenant: str,
+        batch_size: int,
+        plan_cache_hit: bool,
+        queue_wait_s: float,
+        run_wall_s: float,
+        sim_time_s: float,
+    ) -> None:
+        with self._lock:
+            stats = self._get(tenant)
+            stats.completed += 1
+            stats.batch_size_total += batch_size
+            if plan_cache_hit:
+                stats.plan_cache_hit_requests += 1
+            stats.queue_wait_total_s += queue_wait_s
+            stats.run_wall_total_s += run_wall_s
+            stats.sim_time_total_s += sim_time_s
+
+    def record_batch(self, tenants) -> None:
+        """Count one batch run for every distinct participating tenant."""
+        with self._lock:
+            for tenant in set(tenants):
+                self._get(tenant).batches += 1
+
+    # -- introspection -----------------------------------------------------
+    def snapshot(self, tenant: Optional[str] = None):
+        """A consistent copy: one tenant's stats, or ``{tenant: stats}``."""
+        with self._lock:
+            if tenant is not None:
+                return replace(self._get(tenant))
+            return {name: replace(s) for name, s in self._stats.items()}
+
+    def totals(self) -> TenantStats:
+        """Aggregate across every tenant (``tenant="*"``)."""
+        with self._lock:
+            total = TenantStats(tenant="*")
+            for stats in self._stats.values():
+                total.submitted += stats.submitted
+                total.completed += stats.completed
+                total.failed += stats.failed
+                total.rejected_queue_full += stats.rejected_queue_full
+                total.rejected_quota += stats.rejected_quota
+                total.rejected_deadline += stats.rejected_deadline
+                total.batches += stats.batches
+                total.batch_size_total += stats.batch_size_total
+                total.plan_cache_hit_requests += stats.plan_cache_hit_requests
+                total.queue_wait_total_s += stats.queue_wait_total_s
+                total.run_wall_total_s += stats.run_wall_total_s
+                total.sim_time_total_s += stats.sim_time_total_s
+            return total

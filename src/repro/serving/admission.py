@@ -1,0 +1,160 @@
+"""Admission control: the bounded front-door queue with tenant quotas.
+
+Requests that cannot be queued are rejected *typed*, mirroring the
+framework's gRPC-style status codes:
+
+* queue at capacity -> :class:`~repro.errors.ResourceExhaustedError`
+* tenant over its quota -> :class:`~repro.errors.ResourceExhaustedError`
+* deadline already expired -> :class:`~repro.errors.DeadlineExceededError`
+  (the same semantics PR 6's detection layer gives a stuck collective:
+  fail fast with a diagnosis instead of occupying the system)
+
+Every rejection carries ``admission_reason`` (``"queue_full"`` /
+``"quota"`` / ``"deadline"``) so the accounting layer can attribute it
+per tenant without parsing messages.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    ResourceExhaustedError,
+)
+from repro.serving.request import PendingRequest, now
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass
+class AdmissionPolicy:
+    """Front-door limits.
+
+    ``max_queue`` bounds total queued requests (back-pressure toward
+    clients instead of unbounded memory growth); ``per_tenant_quota``
+    bounds one tenant's share of the queue so a flooding tenant cannot
+    starve the rest (None = no per-tenant bound).
+    """
+
+    max_queue: int = 256
+    per_tenant_quota: Optional[int] = None
+
+
+class AdmissionController:
+    """Thread-safe bounded queue feeding the micro-batcher.
+
+    ``offer`` admits or rejects; ``next_batch`` blocks for work and
+    returns up to ``max_batch`` *same-signature* requests in FIFO order
+    (head-of-line request picks the signature; compatible followers are
+    coalesced, others keep their place for the next worker).
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+        self.policy = policy or AdmissionPolicy()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._queue: list[PendingRequest] = []
+        self._tenant_depth: dict[str, int] = {}
+        self._closed = False
+
+    # -- producer side -----------------------------------------------------
+    def offer(self, pending: PendingRequest) -> None:
+        """Admit ``pending`` or raise a typed, attributed rejection."""
+        with self._nonempty:
+            if self._closed:
+                raise CancelledError("serving front-door is shut down")
+            if pending.expired():
+                waited = (now() - pending.submitted_at) * 1e3
+                exc = DeadlineExceededError(
+                    f"request from tenant {pending.tenant!r} arrived with "
+                    f"its {pending.deadline_ms:.1f} ms deadline already "
+                    f"expired ({waited:.1f} ms since submission); rejected "
+                    f"at admission"
+                )
+                exc.admission_reason = "deadline"
+                raise exc
+            if len(self._queue) >= self.policy.max_queue:
+                exc = ResourceExhaustedError(
+                    f"admission queue full ({self.policy.max_queue} "
+                    f"queued); request from tenant {pending.tenant!r} "
+                    f"rejected — retry with backoff"
+                )
+                exc.admission_reason = "queue_full"
+                raise exc
+            quota = self.policy.per_tenant_quota
+            depth = self._tenant_depth.get(pending.tenant, 0)
+            if quota is not None and depth >= quota:
+                exc = ResourceExhaustedError(
+                    f"tenant {pending.tenant!r} exceeded its quota of "
+                    f"{quota} queued request(s) ({depth} already waiting)"
+                )
+                exc.admission_reason = "quota"
+                raise exc
+            self._queue.append(pending)
+            self._tenant_depth[pending.tenant] = depth + 1
+            self._nonempty.notify()
+
+    # -- consumer side -----------------------------------------------------
+    def next_batch(
+        self, max_batch: int, window_s: float = 0.0
+    ) -> Optional[list[PendingRequest]]:
+        """Dequeue up to ``max_batch`` same-signature requests (FIFO).
+
+        Blocks while the queue is open and empty; returns ``None`` once
+        the controller is closed and drained. With ``window_s > 0`` a
+        partially filled batch lingers up to that long for compatible
+        stragglers (classic micro-batching latency/throughput trade).
+        """
+        with self._nonempty:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._nonempty.wait()
+            signature = self._queue[0].signature
+            deadline = now() + window_s if window_s > 0 else None
+            while True:
+                batch = [
+                    p for p in self._queue if p.signature is signature
+                ][:max_batch]
+                if len(batch) >= max_batch or deadline is None or self._closed:
+                    break
+                remaining = deadline - now()
+                if remaining <= 0:
+                    break
+                self._nonempty.wait(remaining)
+            at = now()
+            for pending in batch:
+                self._queue.remove(pending)
+                self._tenant_depth[pending.tenant] -= 1
+                pending.dequeued_at = at
+            return batch
+
+    # -- lifecycle / introspection ----------------------------------------
+    def close(self, cancel_pending: bool = False) -> list[PendingRequest]:
+        """Stop admitting; wake every waiter.
+
+        With ``cancel_pending`` the queue is emptied and the orphaned
+        requests returned so the server can fail their futures; without
+        it workers keep draining until ``next_batch`` returns ``None``.
+        """
+        with self._nonempty:
+            self._closed = True
+            cancelled: list[PendingRequest] = []
+            if cancel_pending:
+                cancelled = list(self._queue)
+                self._queue.clear()
+                self._tenant_depth.clear()
+            self._nonempty.notify_all()
+            return cancelled
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def tenant_depth(self, tenant: str) -> int:
+        with self._lock:
+            return self._tenant_depth.get(tenant, 0)

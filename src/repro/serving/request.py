@@ -1,0 +1,102 @@
+"""Request/response types for the serving front-door.
+
+A :class:`PendingRequest` is one tenant's fetch request travelling
+through the pipeline (admit -> queue -> micro-batch -> shared Session ->
+scatter); its :class:`ServingFuture` is the client-side handle. The
+clock throughout the serving layer is *host* wall time
+(``time.perf_counter``): the front-door is a real concurrent system
+layered over the simulated backend, so queueing delay and deadlines are
+physical, while each batch run's :class:`~repro.core.metadata.RunMetadata`
+still carries the simulated execution time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["PendingRequest", "ServingFuture", "ServingResponse", "now"]
+
+
+def now() -> float:
+    """The serving layer's wall clock (monotonic host seconds)."""
+    return time.perf_counter()
+
+
+@dataclass
+class ServingResponse:
+    """One completed request: outputs plus its share of the batch run.
+
+    ``outputs`` mirrors the signature's output structure (a bare array
+    for a single-output signature, a list otherwise), holding only this
+    request's rows of the batched result. ``batch_size`` counts the
+    requests coalesced into the run that served this one;
+    ``batch_rows`` the total rows those requests contributed.
+    """
+
+    outputs: Any
+    tenant: str
+    signature: str
+    batch_size: int
+    batch_rows: int
+    queue_wait_s: float
+    run_wall_s: float
+    plan_cache_hit: bool
+    metadata: Any  # the shared batch run's RunMetadata
+
+
+class ServingFuture:
+    """Client-side handle for an admitted request (thread-safe)."""
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._response: Optional[ServingResponse] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServingResponse:
+        """Block until completion; returns the response or re-raises the
+        failure the server recorded (deadline, cancellation, run error)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("serving request still pending")
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+    # -- server side -------------------------------------------------------
+    def _complete(self, response: ServingResponse) -> None:
+        self._response = response
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+@dataclass
+class PendingRequest:
+    """One request in flight through admission and batching."""
+
+    tenant: str
+    signature: Any  # ServingSignature
+    inputs: dict  # input name -> np.ndarray with leading batch dim
+    rows: int  # batch rows this request contributes
+    deadline_at: Optional[float]  # absolute perf_counter deadline, or None
+    submitted_at: float
+    future: ServingFuture = field(default_factory=ServingFuture)
+    dequeued_at: Optional[float] = None
+
+    def expired(self, at: Optional[float] = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (now() if at is None else at) >= self.deadline_at
+
+    @property
+    def deadline_ms(self) -> Optional[float]:
+        if self.deadline_at is None:
+            return None
+        return (self.deadline_at - self.submitted_at) * 1e3

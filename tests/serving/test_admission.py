@@ -1,0 +1,129 @@
+"""Admission controller: bounded queue, quotas, deadlines, shutdown."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    ResourceExhaustedError,
+)
+from repro.serving.admission import AdmissionController, AdmissionPolicy
+from repro.serving.request import PendingRequest, now
+
+
+def _pending(tenant="t0", signature="sig", deadline_ms=None, rows=1):
+    at = now()
+    return PendingRequest(
+        tenant=tenant,
+        signature=signature,  # any hashable sentinel works for the queue
+        inputs={"x": np.zeros((rows, 2), np.float32)},
+        rows=rows,
+        deadline_at=at + deadline_ms / 1e3 if deadline_ms is not None else None,
+        submitted_at=at,
+    )
+
+
+class TestAdmission:
+    def test_fifo_order_and_depth(self):
+        ctl = AdmissionController(AdmissionPolicy(max_queue=8))
+        pendings = [_pending(tenant=f"t{i}") for i in range(3)]
+        for p in pendings:
+            ctl.offer(p)
+        assert ctl.depth() == 3
+        batch = ctl.next_batch(max_batch=8)
+        assert batch == pendings
+        assert ctl.depth() == 0
+        assert all(p.dequeued_at is not None for p in batch)
+
+    def test_queue_full_rejection_is_typed_and_attributed(self):
+        ctl = AdmissionController(AdmissionPolicy(max_queue=2))
+        ctl.offer(_pending())
+        ctl.offer(_pending())
+        with pytest.raises(ResourceExhaustedError, match="admission queue full") as err:
+            ctl.offer(_pending(tenant="flood"))
+        assert err.value.admission_reason == "queue_full"
+
+    def test_per_tenant_quota(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(max_queue=16, per_tenant_quota=2)
+        )
+        ctl.offer(_pending(tenant="greedy"))
+        ctl.offer(_pending(tenant="greedy"))
+        with pytest.raises(ResourceExhaustedError, match="quota") as err:
+            ctl.offer(_pending(tenant="greedy"))
+        assert err.value.admission_reason == "quota"
+        # Other tenants are unaffected by one tenant's quota exhaustion.
+        ctl.offer(_pending(tenant="modest"))
+        # Dequeue frees quota.
+        ctl.next_batch(max_batch=16)
+        ctl.offer(_pending(tenant="greedy"))
+
+    def test_dead_on_arrival_rejected_with_deadline_error(self):
+        ctl = AdmissionController()
+        with pytest.raises(DeadlineExceededError, match="already"):
+            ctl.offer(_pending(deadline_ms=-1.0))
+
+    def test_batches_are_same_signature_only(self):
+        ctl = AdmissionController()
+        a1, b1, a2 = (
+            _pending(signature="A"),
+            _pending(signature="B"),
+            _pending(signature="A"),
+        )
+        for p in (a1, b1, a2):
+            ctl.offer(p)
+        first = ctl.next_batch(max_batch=8)
+        assert first == [a1, a2]  # head-of-line signature, FIFO within it
+        second = ctl.next_batch(max_batch=8)
+        assert second == [b1]
+
+    def test_max_batch_caps_coalescing(self):
+        ctl = AdmissionController()
+        pendings = [_pending() for _ in range(5)]
+        for p in pendings:
+            ctl.offer(p)
+        assert ctl.next_batch(max_batch=3) == pendings[:3]
+        assert ctl.next_batch(max_batch=3) == pendings[3:]
+
+    def test_batch_window_waits_for_stragglers(self):
+        ctl = AdmissionController()
+        ctl.offer(_pending())
+
+        def late_arrival():
+            ctl.offer(_pending())
+
+        timer = threading.Timer(0.02, late_arrival)
+        timer.start()
+        try:
+            batch = ctl.next_batch(max_batch=2, window_s=1.0)
+        finally:
+            timer.cancel()
+        assert len(batch) == 2  # straggler joined within the window
+
+    def test_close_unblocks_waiters_and_drains(self):
+        ctl = AdmissionController()
+        got = {}
+
+        def worker():
+            got["batch"] = ctl.next_batch(max_batch=4)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        ctl.close()
+        thread.join(5)
+        assert not thread.is_alive()
+        assert got["batch"] is None
+        with pytest.raises(CancelledError):
+            ctl.offer(_pending())
+
+    def test_close_cancel_pending_returns_orphans(self):
+        ctl = AdmissionController()
+        pendings = [_pending() for _ in range(3)]
+        for p in pendings:
+            ctl.offer(p)
+        cancelled = ctl.close(cancel_pending=True)
+        assert cancelled == pendings
+        assert ctl.depth() == 0

@@ -1,0 +1,114 @@
+"""Signature validation and the micro-batcher's gather/scatter math."""
+
+import numpy as np
+import pytest
+
+import repro as tf
+from repro.errors import InvalidArgumentError
+from repro.serving.batcher import MicroBatcher, ServingSignature
+from repro.serving.request import PendingRequest, now
+
+
+def _graph_with_placeholder(shape=[None, 3]):
+    g = tf.Graph()
+    with g.as_default():
+        x = tf.placeholder(tf.float32, shape, name="x")
+        y = tf.add(x, tf.constant(1.0), name="y")
+    return g, x, y
+
+
+def _pending(sig, arrays):
+    inputs, rows = sig.validate_inputs(arrays)
+    return PendingRequest(
+        tenant="t",
+        signature=sig,
+        inputs=inputs,
+        rows=rows,
+        deadline_at=None,
+        submitted_at=now(),
+    )
+
+
+class TestSignature:
+    def test_requires_variable_batch_dim(self):
+        g, x, y = _graph_with_placeholder(shape=[4, 3])
+        with pytest.raises(InvalidArgumentError, match="batch"):
+            ServingSignature("s", {"x": x}, y)
+
+    def test_requires_inputs_and_outputs(self):
+        g, x, y = _graph_with_placeholder()
+        with pytest.raises(InvalidArgumentError, match="input"):
+            ServingSignature("s", {}, y)
+
+    def test_validate_inputs_checks_names_shape_and_rows(self):
+        g, x, y = _graph_with_placeholder()
+        sig = ServingSignature("s", {"x": x}, y)
+        with pytest.raises(InvalidArgumentError, match="expects inputs"):
+            sig.validate_inputs({"wrong": np.zeros((1, 3))})
+        with pytest.raises(InvalidArgumentError, match="shape"):
+            sig.validate_inputs({"x": np.zeros((1, 4), np.float32)})
+        arrays, rows = sig.validate_inputs(
+            {"x": np.ones((5, 3), np.float64)}  # coerced to float32
+        )
+        assert rows == 5
+        assert arrays["x"].dtype == np.float32
+
+    def test_mismatched_rows_across_inputs_rejected(self):
+        g = tf.Graph()
+        with g.as_default():
+            a = tf.placeholder(tf.float32, [None, 2], name="a")
+            b = tf.placeholder(tf.float32, [None, 2], name="b")
+            y = tf.add(a, b, name="y")
+        sig = ServingSignature("s", {"a": a, "b": b}, y)
+        with pytest.raises(InvalidArgumentError, match="disagree"):
+            sig.validate_inputs(
+                {"a": np.zeros((2, 2), np.float32),
+                 "b": np.zeros((3, 2), np.float32)}
+            )
+
+
+class TestMicroBatcher:
+    def test_assemble_concatenates_along_batch_axis(self):
+        g, x, y = _graph_with_placeholder()
+        sig = ServingSignature("s", {"x": x}, y)
+        p1 = _pending(sig, {"x": np.full((2, 3), 1.0, np.float32)})
+        p2 = _pending(sig, {"x": np.full((3, 3), 2.0, np.float32)})
+        feed, sizes = MicroBatcher.assemble(sig, [p1, p2])
+        assert sizes == [2, 3]
+        assert feed["x"].shape == (5, 3)
+        np.testing.assert_array_equal(feed["x"][:2], p1.inputs["x"])
+        np.testing.assert_array_equal(feed["x"][2:], p2.inputs["x"])
+
+    def test_single_request_passes_arrays_through(self):
+        g, x, y = _graph_with_placeholder()
+        sig = ServingSignature("s", {"x": x}, y)
+        p = _pending(sig, {"x": np.zeros((2, 3), np.float32)})
+        feed, sizes = MicroBatcher.assemble(sig, [p])
+        assert feed["x"] is p.inputs["x"]
+        assert sizes == [2]
+
+    def test_scatter_roundtrips_rows(self):
+        g, x, y = _graph_with_placeholder()
+        sig = ServingSignature("s", {"x": x}, y)
+        batched = np.arange(15, dtype=np.float32).reshape(5, 3)
+        parts = MicroBatcher.scatter(sig, batched, [2, 1, 2])
+        assert [p.shape for p in parts] == [(2, 3), (1, 3), (2, 3)]
+        np.testing.assert_array_equal(np.concatenate(parts), batched)
+        # Copies, not views into the batch buffer.
+        assert all(p.base is None for p in parts)
+
+    def test_scatter_multi_output_structure(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, [None, 2], name="x")
+            y1 = tf.add(x, tf.constant(1.0), name="y1")
+            y2 = tf.multiply(x, tf.constant(2.0), name="y2")
+        sig = ServingSignature("s", {"x": x}, [y1, y2])
+        assert not sig.single_output
+        a = np.ones((3, 2), np.float32)
+        b = np.full((3, 2), 2.0, np.float32)
+        parts = MicroBatcher.scatter(sig, [a, b], [1, 2])
+        first, second = parts
+        assert isinstance(first, list) and len(first) == 2
+        np.testing.assert_array_equal(first[0], a[:1])
+        np.testing.assert_array_equal(second[1], b[1:])
