@@ -7,7 +7,6 @@
 * and the merger-exclusion choice in the FFT metric.
 """
 
-import pytest
 
 from repro.apps.cg import run_cg
 from repro.apps.fft import run_fft

@@ -1,6 +1,5 @@
 """Fig. 10 — CG solver strong scaling across three GPU platforms."""
 
-import pytest
 
 from repro.figures.fig10_cg import format_fig10, paper_comparison, run_fig10
 

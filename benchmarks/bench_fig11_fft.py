@@ -1,6 +1,5 @@
 """Fig. 11 — distributed FFT strong scaling on Tegner."""
 
-import pytest
 
 from repro.figures.fig11_fft import format_fig11, paper_comparison, run_fig11
 

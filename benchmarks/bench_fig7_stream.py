@@ -4,7 +4,6 @@ import pytest
 
 from repro.apps.stream import run_stream
 from repro.figures.fig7_stream import format_fig7, paper_comparison, run_fig7
-from repro.perf.reporting import ratio_to_paper
 
 
 def _bw(points, platform, protocol, size):

@@ -1,6 +1,5 @@
 """Fig. 8 — tiled matmul strong scaling across both machines."""
 
-import pytest
 
 from repro.figures.fig8_matmul import format_fig8, paper_comparison, run_fig8
 

@@ -20,7 +20,6 @@ coalesced ``Session.run`` amortizes per-run overhead (admission RPC,
 plan lookup, simulator drive) over every rider.
 """
 
-import pytest
 
 from repro.apps.serving import build_mlp_server, run_serving_load
 from repro.perf.reporting import format_table

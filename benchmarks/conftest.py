@@ -28,6 +28,7 @@ BENCH_FAULT_TOLERANCE_JSON = os.path.join(
     RESULTS_DIR, "BENCH_fault_tolerance.json"
 )
 BENCH_SERVING_JSON = os.path.join(RESULTS_DIR, "BENCH_serving.json")
+BENCH_VERIFIER_JSON = os.path.join(RESULTS_DIR, "BENCH_verifier.json")
 
 
 @pytest.fixture(scope="session")
@@ -186,5 +187,25 @@ def record_serving_bench(_serving_bench_records):
 
     def record(name: str, **fields) -> None:
         _serving_bench_records[name] = fields
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def _verifier_bench_records(results_dir):
+    """Accumulator for the static-analysis lane (BENCH_verifier.json)."""
+    records: dict = {}
+    yield records
+    _flush_records(BENCH_VERIFIER_JSON, records)
+
+
+@pytest.fixture
+def record_verifier_bench(_verifier_bench_records):
+    """Like ``record_bench``, flushed to ``BENCH_verifier.json`` — the
+    plan-build overhead of ``verify_plans=True`` per workload, tracked
+    across PRs."""
+
+    def record(name: str, **fields) -> None:
+        _verifier_bench_records[name] = fields
 
     return record

@@ -1,0 +1,26 @@
+"""Repo-wide pytest configuration.
+
+``--verify-plans`` (or the ``REPRO_VERIFY_PLANS`` environment variable)
+turns on the static-analysis layer for the whole run: every session in
+every test re-verifies the graph after each optimizer pass and verifies
+the lowered plan before caching it, failing the test with a
+``VerificationError`` on any violation. The CI verifier lane runs tier-1
+this way; locally it is the one-flag burn-in for verifier changes.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--verify-plans",
+        action="store_true",
+        default=False,
+        help="run all sessions with static graph/plan verification on "
+             "(equivalent to REPRO_VERIFY_PLANS=1)",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--verify-plans"):
+        os.environ["REPRO_VERIFY_PLANS"] = "1"

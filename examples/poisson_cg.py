@@ -11,7 +11,6 @@ highlights ("checkpoint-restart capability ... less than 300 lines").
 Run:  python examples/poisson_cg.py
 """
 
-import os
 import tempfile
 
 import numpy as np
@@ -74,13 +73,13 @@ def main() -> None:
 
     # ---- checkpoint / restart --------------------------------------------
     with tempfile.TemporaryDirectory() as ckpt:
-        part1 = run_cg(system="kebnekaise-v100", n=n, num_gpus=4,
-                       iterations=80, shape_only=False, problem=(a, b),
-                       checkpoint_dir=ckpt, checkpoint_every=80)
+        run_cg(system="kebnekaise-v100", n=n, num_gpus=4,
+               iterations=80, shape_only=False, problem=(a, b),
+               checkpoint_dir=ckpt, checkpoint_every=80)
         resumed = run_cg(system="kebnekaise-v100", n=n, num_gpus=4,
                          iterations=80, shape_only=False, problem=(a, b),
                          resume_dir=ckpt)
-    print(f"\ncheckpoint after 80 iters -> restart -> 80 more:")
+    print("\ncheckpoint after 80 iters -> restart -> 80 more:")
     print(f"  residual uninterrupted: {result.residual:.3e}")
     print(f"  residual resumed:       {resumed.residual:.3e}")
     agreement = np.isclose(resumed.residual, result.residual, rtol=1e-6)

@@ -54,7 +54,7 @@ def main():
 
     # The Horovod argument, quantified: rerun the sync-heavy setting at
     # growing worker counts (shape-only, paper-scale grid).
-    print(f"\nScaling the global sync (n=1024, sync every sweep):")
+    print("\nScaling the global sync (n=1024, sync every sweep):")
     for w in (2, 4, 8):
         ring_t = run_stencil(n=1024, num_workers=w, iterations=10,
                              check_every=1, mode="collective",

@@ -10,7 +10,6 @@ then a paper-scale strong-scaling sweep in shape-only mode.
 Run:  python examples/tiled_matmul_cluster.py
 """
 
-import numpy as np
 
 from repro.apps.common import build_cluster
 from repro.apps.matmul import run_matmul

@@ -1,0 +1,437 @@
+"""Shape/dtype re-inference: recompute output specs from inputs + attrs.
+
+The op builders in :mod:`repro.core.ops` compute each operation's output
+specs once, at graph-construction time, and the specs are immutable from
+then on. This module re-derives those specs from scratch — inputs and
+static attributes only — so :func:`repro.analysis.verify_graph` can prove
+the recorded metadata is still consistent after a graph has been mutated
+or an optimizer pass has rewired edges.
+
+Each inference function returns one ``(dtype, shape)`` pair per output;
+either element may be ``None`` meaning "not derivable from inputs/attrs
+alone, don't check" (e.g. ``Fill`` declares its dtype only in the output
+spec). Op types without an entry return ``None`` from
+:func:`infer_output_specs` and are skipped entirely — sources like
+``Placeholder`` and ``VariableV2`` *are* the spec authority, and exotic
+kernels (queues, datasets, tile I/O) opt out until a rule is written.
+
+Inference failures raise :class:`repro.errors.InvalidArgumentError` with
+the same messages the builders produce; the verifier converts them into
+diagnostics rather than letting them propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro import dtypes
+from repro.core.graph import Operation
+from repro.core.ops.common import broadcast_static_shapes
+from repro.core.tensor import TensorShape
+from repro.errors import InvalidArgumentError
+
+__all__ = ["infer_output_specs", "inferable_op_types"]
+
+# (dtype | None, shape | None) per output; None = "don't check".
+Spec = tuple[Optional[dtypes.DType], Optional[TensorShape]]
+_InferFn = Callable[[Operation], list[Spec]]
+
+_INFERENCE: dict[str, _InferFn] = {}
+
+
+def _infers(*op_types: str) -> Callable[[_InferFn], _InferFn]:
+    def decorator(fn: _InferFn) -> _InferFn:
+        for op_type in op_types:
+            _INFERENCE[op_type] = fn
+        return fn
+
+    return decorator
+
+
+def inferable_op_types() -> frozenset[str]:
+    return frozenset(_INFERENCE)
+
+
+def infer_output_specs(op: Operation) -> Optional[list[Spec]]:
+    """Re-derived output specs for ``op``, or ``None`` if not inferable."""
+    fn = _INFERENCE.get(op.type)
+    if fn is None:
+        return None
+    return fn(op)
+
+
+def _uniform_dtype(op: Operation, what: str) -> dtypes.DType:
+    dtype = op.inputs[0].dtype
+    for t in op.inputs[1:]:
+        if t.dtype != dtype:
+            raise InvalidArgumentError(
+                f"{what} dtype mismatch: {dtype.name} vs {t.dtype.name}"
+            )
+    return dtype
+
+
+# ---------------------------------------------------------------------------
+# array ops
+# ---------------------------------------------------------------------------
+
+@_infers("Const")
+def _const(op: Operation) -> list[Spec]:
+    arr = op.get_attr("value")
+    return [(dtypes.as_dtype(arr.dtype), TensorShape(arr.shape))]
+
+
+@_infers("Identity", "ZerosLike")
+def _same_as_input(op: Operation) -> list[Spec]:
+    return [(op.inputs[0].dtype, op.inputs[0].shape)]
+
+
+@_infers("Cast")
+def _cast(op: Operation) -> list[Spec]:
+    target = dtypes.as_dtype(op.get_attr("dst_dtype"))
+    return [(target, op.inputs[0].shape)]
+
+
+@_infers("Fill")
+def _fill(op: Operation) -> list[Spec]:
+    # dtype is declared only in the output spec; check the shape attr.
+    return [(None, TensorShape(op.get_attr("shape")))]
+
+
+@_infers("Reshape")
+def _reshape(op: Operation) -> list[Spec]:
+    x = op.inputs[0]
+    new_shape = list(op.get_attr("shape"))
+    if new_shape.count(-1) > 1:
+        raise InvalidArgumentError("reshape allows at most one -1 dimension")
+    static: list[Optional[int]] = []
+    known = 1
+    for d in new_shape:
+        if d == -1:
+            static.append(None)
+        else:
+            static.append(d)
+            known *= d
+    if -1 in new_shape and x.shape.is_fully_defined:
+        total = x.shape.num_elements()
+        if total % known != 0:
+            raise InvalidArgumentError(
+                f"Cannot reshape {x.shape} ({total} elements) into {new_shape}"
+            )
+        static[new_shape.index(-1)] = total // known
+    elif x.shape.is_fully_defined and x.shape.num_elements() != known:
+        raise InvalidArgumentError(
+            f"Cannot reshape {x.shape} into {new_shape}: element count differs"
+        )
+    return [(x.dtype, TensorShape(static))]
+
+
+@_infers("Transpose")
+def _transpose(op: Operation) -> list[Spec]:
+    x = op.inputs[0]
+    perm = tuple(op.get_attr("perm"))
+    rank = x.shape.rank
+    if rank is None:
+        return [(x.dtype, TensorShape(None))]
+    if sorted(perm) != list(range(rank)):
+        raise InvalidArgumentError(f"Bad permutation {perm} for rank {rank}")
+    return [(x.dtype, TensorShape([x.shape[p] for p in perm]))]
+
+
+@_infers("Concat")
+def _concat(op: Operation) -> list[Spec]:
+    dtype = _uniform_dtype(op, "concat")
+    axis = op.get_attr("axis")
+    rank = next(
+        (t.shape.rank for t in op.inputs if t.shape.rank is not None), None
+    )
+    if rank is None:
+        return [(dtype, TensorShape(None))]
+    ax = axis % rank
+    dims: list[Optional[int]] = list(op.inputs[0].shape.with_rank(rank).dims)
+    total: Optional[int] = 0
+    for t in op.inputs:
+        s = t.shape.with_rank(rank)
+        for i in range(rank):
+            if i == ax:
+                continue
+            if dims[i] is None:
+                dims[i] = s[i]
+            elif s[i] is not None and s[i] != dims[i]:
+                raise InvalidArgumentError(
+                    f"concat shapes disagree on dim {i}: {dims[i]} vs {s[i]}"
+                )
+        if total is not None:
+            total = None if s[ax] is None else total + s[ax]
+    dims[ax] = total
+    return [(dtype, TensorShape(dims))]
+
+
+@_infers("Split")
+def _split(op: Operation) -> list[Spec]:
+    x = op.inputs[0]
+    axis = op.get_attr("axis")
+    num_splits = op.get_attr("num_splits")
+    rank = x.shape.rank
+    if rank is None:
+        return [(x.dtype, TensorShape(None))] * num_splits
+    ax = axis % rank
+    dims = list(x.shape.dims)
+    if dims[ax] is not None:
+        if dims[ax] % num_splits != 0:
+            raise InvalidArgumentError(
+                f"Dimension {dims[ax]} not divisible into {num_splits} splits"
+            )
+        dims[ax] = dims[ax] // num_splits
+    return [(x.dtype, TensorShape(dims))] * num_splits
+
+
+@_infers("Stack")
+def _stack(op: Operation) -> list[Spec]:
+    dtype = op.inputs[0].dtype
+    axis = op.get_attr("axis")
+    base = op.inputs[0].shape
+    for t in op.inputs[1:]:
+        base = base.merge_with(t.shape)
+    if base.dims is None:
+        return [(dtype, TensorShape(None))]
+    dims = list(base.dims)
+    ax = axis % (len(dims) + 1)
+    dims.insert(ax, len(op.inputs))
+    return [(dtype, TensorShape(dims))]
+
+
+@_infers("Squeeze")
+def _squeeze(op: Operation) -> list[Spec]:
+    x = op.inputs[0]
+    axis = op.get_attr("axis")
+    if x.shape.dims is None:
+        return [(x.dtype, TensorShape(None))]
+    dims = list(x.shape.dims)
+    if axis is None:
+        dims = [d for d in dims if d != 1]
+    else:
+        ax = axis % len(dims)
+        if dims[ax] not in (1, None):
+            raise InvalidArgumentError(
+                f"Cannot squeeze dim {ax} of size {dims[ax]}"
+            )
+        dims.pop(ax)
+    return [(x.dtype, TensorShape(dims))]
+
+
+@_infers("ExpandDims")
+def _expand_dims(op: Operation) -> list[Spec]:
+    x = op.inputs[0]
+    axis = op.get_attr("axis")
+    if x.shape.dims is None:
+        return [(x.dtype, TensorShape(None))]
+    dims = list(x.shape.dims)
+    ax = axis % (len(dims) + 1)
+    dims.insert(ax, 1)
+    return [(x.dtype, TensorShape(dims))]
+
+
+@_infers("Slice")
+def _slice(op: Operation) -> list[Spec]:
+    x = op.inputs[0]
+    begin = tuple(op.get_attr("begin"))
+    size = tuple(op.get_attr("size"))
+    if len(begin) != len(size):
+        raise InvalidArgumentError("slice begin/size rank mismatch")
+    if x.shape.rank is not None and x.shape.rank != len(begin):
+        raise InvalidArgumentError(
+            f"slice begin/size rank {len(begin)} != tensor rank {x.shape.rank}"
+        )
+    return [(x.dtype, TensorShape(size))]
+
+
+# ---------------------------------------------------------------------------
+# math ops
+# ---------------------------------------------------------------------------
+
+@_infers("Add", "Sub", "Mul", "Div", "Maximum", "Minimum")
+def _binary(op: Operation) -> list[Spec]:
+    dtype = _uniform_dtype(op, op.type)
+    shape = broadcast_static_shapes(op.inputs[0].shape, op.inputs[1].shape)
+    return [(dtype, shape)]
+
+
+@_infers("GreaterEqual")
+def _greater_equal(op: Operation) -> list[Spec]:
+    _uniform_dtype(op, "GreaterEqual")
+    shape = broadcast_static_shapes(op.inputs[0].shape, op.inputs[1].shape)
+    return [(dtypes.bool_, shape)]
+
+
+@_infers("Neg", "Square", "Sqrt", "Exp", "Sigmoid")
+def _unary(op: Operation) -> list[Spec]:
+    return [(op.inputs[0].dtype, op.inputs[0].shape)]
+
+
+@_infers("MatMul")
+def _matmul(op: Operation) -> list[Spec]:
+    at, bt = op.inputs
+    dtype = _uniform_dtype(op, "matmul")
+    transpose_a = op.get_attr("transpose_a", False)
+    transpose_b = op.get_attr("transpose_b", False)
+    sa, sb = at.shape, bt.shape
+    rank_b = sb.rank
+    if sa.rank not in (None, 2):
+        raise InvalidArgumentError(f"matmul lhs must be rank 2, got {sa}")
+    if rank_b not in (None, 1, 2):
+        raise InvalidArgumentError(f"matmul rhs must be rank 1 or 2, got {sb}")
+    if rank_b == 1 and transpose_b:
+        raise InvalidArgumentError("cannot transpose a rank-1 rhs")
+    m = None if sa.rank is None else sa[1 if transpose_a else 0]
+    ka = None if sa.rank is None else sa[0 if transpose_a else 1]
+    if rank_b == 1:
+        kb = sb[0]
+        out_shape = TensorShape([m])
+    else:
+        kb = None if rank_b is None else sb[1 if transpose_b else 0]
+        n = None if rank_b is None else sb[0 if transpose_b else 1]
+        out_shape = (
+            TensorShape([m, n]) if rank_b is not None else TensorShape(None)
+        )
+    if ka is not None and kb is not None and ka != kb:
+        raise InvalidArgumentError(
+            f"matmul inner dimensions disagree: {ka} vs {kb}"
+        )
+    return [(dtype, out_shape)]
+
+
+@_infers("Dot")
+def _dot(op: Operation) -> list[Spec]:
+    dtype = _uniform_dtype(op, "dot")
+    for t in op.inputs:
+        if t.shape.rank not in (None, 1):
+            raise InvalidArgumentError(f"dot expects vectors, got {t.shape}")
+    return [(dtype, TensorShape([]))]
+
+
+@_infers("AddN")
+def _add_n(op: Operation) -> list[Spec]:
+    dtype = _uniform_dtype(op, "add_n")
+    shape = op.inputs[0].shape
+    for t in op.inputs[1:]:
+        shape = shape.merge_with(t.shape)
+    return [(dtype, shape)]
+
+
+@_infers("Sum", "Mean", "Max")
+def _reduce(op: Operation) -> list[Spec]:
+    x = op.inputs[0]
+    axes = op.get_attr("axis")
+    keepdims = op.get_attr("keepdims", False)
+    rank = x.shape.rank
+    if axes is None:
+        out_shape = TensorShape([] if not keepdims else [1] * (rank or 0))
+        if rank is None and keepdims:
+            out_shape = TensorShape(None)
+    elif rank is None:
+        out_shape = TensorShape(None)
+    else:
+        norm = {a % rank for a in axes}
+        dims = [
+            (1 if keepdims else None) if i in norm else d
+            for i, d in enumerate(x.shape.dims)
+        ]
+        if not keepdims:
+            dims = [d for i, d in enumerate(dims) if i not in norm]
+        out_shape = TensorShape(dims)
+    return [(x.dtype, out_shape)]
+
+
+# ---------------------------------------------------------------------------
+# stateful ops
+# ---------------------------------------------------------------------------
+
+@_infers("Assign", "AssignAdd", "AssignSub")
+def _assign(op: Operation) -> list[Spec]:
+    var_name = op.get_attr("var_name")
+    if var_name is None:
+        raise InvalidArgumentError(
+            f"{op.type} op {op.name!r} lacks the var_name attr"
+        )
+    try:
+        var_op = op.graph.get_operation_by_name(var_name)
+    except Exception:
+        raise InvalidArgumentError(
+            f"{op.type} op {op.name!r} targets unknown variable {var_name!r}"
+        ) from None
+    shape = var_op.outputs[0].shape.merge_with(op.inputs[0].shape)
+    return [(var_op.outputs[0].dtype, shape)]
+
+
+# ---------------------------------------------------------------------------
+# collective ops
+# ---------------------------------------------------------------------------
+
+def _merged_input_shape(op: Operation) -> TensorShape:
+    shape = op.inputs[0].shape
+    for t in op.inputs[1:]:
+        shape = shape.merge_with(t.shape)
+    return shape
+
+
+@_infers("CollectiveAllReduce")
+def _all_reduce(op: Operation) -> list[Spec]:
+    dtype = _uniform_dtype(op, "all_reduce")
+    shape = _merged_input_shape(op)
+    return [(dtype, shape)] * len(op.inputs)
+
+
+@_infers("CollectiveReduceScatter")
+def _reduce_scatter(op: Operation) -> list[Spec]:
+    dtype = _uniform_dtype(op, "reduce_scatter")
+    world = len(op.inputs)
+    shape = _merged_input_shape(op)
+    if shape.rank == 0:
+        raise InvalidArgumentError(
+            "reduce_scatter needs tensors of rank >= 1 (got a scalar)"
+        )
+    if shape.rank is None:
+        out_shape = TensorShape(None)
+    else:
+        lead = shape[0]
+        if lead is not None and lead % world != 0:
+            raise InvalidArgumentError(
+                f"reduce_scatter needs a leading dimension divisible by "
+                f"the world size: {lead} rows across {world} ranks"
+            )
+        out_shape = TensorShape(
+            [None if lead is None else lead // world, *shape.dims[1:]]
+        )
+    return [(dtype, out_shape)] * world
+
+
+@_infers("CollectiveAllGather")
+def _all_gather(op: Operation) -> list[Spec]:
+    dtype = _uniform_dtype(op, "all_gather")
+    lead: Optional[int] = 0
+    trailing: Optional[TensorShape] = None
+    for t in op.inputs:
+        rank = t.shape.rank
+        if rank == 0:
+            raise InvalidArgumentError(
+                "all_gather needs tensors of rank >= 1 (got a scalar)"
+            )
+        if rank is None:
+            lead, trailing = None, None
+            break
+        tail = t.shape[1:]
+        trailing = tail if trailing is None else trailing.merge_with(tail)
+        head = t.shape[0]
+        lead = None if (lead is None or head is None) else lead + head
+    if trailing is None:
+        out_shape = TensorShape(None)
+    else:
+        out_shape = TensorShape([lead]).concatenate(trailing)
+    return [(dtype, out_shape)] * len(op.inputs)
+
+
+@_infers("CollectiveBroadcast")
+def _broadcast(op: Operation) -> list[Spec]:
+    world = op.get_attr("world")
+    tensor = op.inputs[0]
+    return [(tensor.dtype, tensor.shape)] * world

@@ -8,7 +8,8 @@ server per task.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Optional
 
 from repro.errors import InvalidArgumentError

@@ -12,7 +12,8 @@ ML training pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Optional
 
 import numpy as np

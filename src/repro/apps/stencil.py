@@ -49,7 +49,6 @@ from repro.apps.common import (
     session_config,
     task_device,
 )
-from repro.core.tensor import SymbolicValue
 from repro.errors import InvalidArgumentError
 
 __all__ = [

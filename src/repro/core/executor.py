@@ -966,7 +966,6 @@ def _run_collective(state: ExecutionState, item: Item):
     the per-step host math inside the generator accounts the device-side
     adds.
     """
-    op = item.op
     rank = item.collective_rank
     group = state.collective_group(item)
     start = state.env.now

@@ -42,13 +42,15 @@ under eager execution, wrap the computation in a traced function first.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence
+
 
 import numpy as np
 
 from repro.core.graph import Graph, Operation
 from repro.core.ops import array_ops, control_flow, math_ops, state_ops
-from repro.core.tensor import Tensor, TensorShape
+from repro.core.tensor import Tensor
+
 from repro.errors import InvalidArgumentError
 
 __all__ = [

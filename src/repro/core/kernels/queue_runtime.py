@@ -9,7 +9,8 @@ ops whose kernels operate on a :class:`SimQueue` held in the owning task's
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
+
 
 from repro.errors import CancelledError, OutOfRangeError
 from repro.simnet.events import Environment

@@ -8,7 +8,6 @@ paper's Fig. 3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 __all__ = ["NodeStats", "PassStats", "TransferStats", "RunMetadata", "RunOptions"]
 
@@ -116,6 +115,13 @@ class RunMetadata:
     plan_cache_misses: int = 0
     trace_cache_hits: int = 0
     trace_cache_misses: int = 0
+    # Static-verification accounting: ``plan_verified`` is True when the
+    # plan this run executed went through the analysis layer
+    # (SessionConfig.verify_plans); ``verifier_warnings`` counts
+    # non-fatal findings (e.g. unordered commutative accumulations) the
+    # verifier attached to the plan.
+    plan_verified: bool = False
+    verifier_warnings: int = 0
     # Fault-tolerance accounting: deadline expiries observed during the
     # run (collective join / recv / run watchdog), transport sends
     # retried under the session's RetryPolicy, and plan items parked

@@ -13,7 +13,6 @@ from repro.core.ops.common import (
     any_symbolic,
     graph_of,
     make_symbolic,
-    runtime_shape,
     runtime_spec,
     to_tensor,
 )

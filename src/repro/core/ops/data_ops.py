@@ -10,7 +10,8 @@ exhausted.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
+
 
 import numpy as np
 

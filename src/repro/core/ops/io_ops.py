@@ -16,7 +16,9 @@ from repro import dtypes
 from repro.core.graph import Graph, Operation, get_default_graph
 from repro.core.kernels.registry import Cost, register_kernel
 from repro.core.ops.common import runtime_spec, to_tensor
-from repro.core.tensor import SymbolicValue, Tensor, TensorShape, as_shape
+from repro.core.tensor import Tensor, as_shape
+
+
 from repro.errors import InvalidArgumentError, UnavailableError
 
 __all__ = ["read_tile", "write_tile"]

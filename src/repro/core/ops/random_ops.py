@@ -68,7 +68,6 @@ def _make_rng(op, ctx) -> np.random.Generator:
         # Stable per-op identity: the node id within the graph.
         op_seed = op.node_id + 1
     counter = ctx.resources.next_rng_counter(op.name)
-    key = (np.uint64(graph_seed & 0xFFFFFFFFFFFFFFFF) << np.uint64(0),)
     bitgen = np.random.Philox(
         key=np.array([graph_seed & 0xFFFFFFFFFFFFFFFF,
                       op_seed & 0xFFFFFFFFFFFFFFFF], dtype=np.uint64),

@@ -10,9 +10,9 @@ import math
 
 import numpy as np
 
-from repro import dtypes
 from repro.core.kernels.registry import Cost, register_kernel
-from repro.core.ops.common import make_symbolic, runtime_spec, to_tensor
+from repro.core.ops.common import runtime_spec, to_tensor
+
 from repro.core.tensor import SymbolicValue, Tensor
 from repro.errors import InvalidArgumentError
 

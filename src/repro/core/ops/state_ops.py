@@ -18,7 +18,8 @@ import numpy as np
 from repro import dtypes
 from repro.core.graph import Graph, GraphKeys, get_default_graph
 from repro.core.kernels.registry import Cost, register_kernel
-from repro.core.ops.common import graph_of, make_symbolic, runtime_spec, to_tensor
+from repro.core.ops.common import graph_of, runtime_spec, to_tensor
+
 from repro.core.tensor import SymbolicValue, Tensor, TensorShape, as_shape
 from repro.errors import FailedPreconditionError, InvalidArgumentError
 

@@ -182,6 +182,44 @@ def _sweep_unreachable(sg: Subgraph) -> PassStats:
     )
 
 
+def _rewrite_fingerprint(sg: Subgraph) -> tuple:
+    """Sizes of every structure a pass can edit.
+
+    Passes only ever *add* substitutions/drops/folds and *remove* ops, so
+    equal sizes before and after a pass mean the pass rewrote nothing —
+    and re-verifying an unchanged working set cannot find anything new.
+    """
+    return (
+        len(sg.ops),
+        len(sg.value_subs),
+        len(sg.control_subs),
+        len(sg.control_drops),
+        len(sg.folded),
+    )
+
+
+def _verify_last_pass(sg: Subgraph, stats: list[PassStats],
+                      verifier) -> None:
+    """Re-verify the working set after the pass that produced ``stats[-1]``.
+
+    Violations are attributed to that pass: the finding's ``opt_pass``
+    field and the pass's ``detail["diagnostics"]`` both name it, so a
+    buggy rewrite is caught at the exact pipeline stage that broke the
+    graph rather than at plan-build (or worse, execution) time. The
+    verifier is incremental (checks cost is proportional to what the
+    pass rewrote, not to the working set); see
+    :class:`repro.analysis.graph_verifier.SubgraphDeltaVerifier`.
+    """
+    pass_name = stats[-1].name
+    report = verifier.verify_pass(sg, pass_name)
+    stats[-1].detail["verified"] = report.ok
+    if report.diagnostics:
+        stats[-1].detail["diagnostics"] = [
+            d.to_dict() for d in report.diagnostics
+        ]
+    report.raise_if_errors()
+
+
 def run_pipeline(
     graph: Graph,
     ordered: Sequence[Operation],
@@ -190,8 +228,15 @@ def run_pipeline(
     feeds: dict,
     options: OptimizerOptions,
     symbolic: bool = False,
+    verify: bool = False,
 ) -> OptimizationResult:
-    """Run all enabled passes over the pruned op set ``ordered``."""
+    """Run all enabled passes over the pruned op set ``ordered``.
+
+    With ``verify=True`` (``SessionConfig.verify_plans``), the working
+    set is statically re-verified after every pass and a
+    :class:`~repro.errors.VerificationError` naming the offending pass is
+    raised the moment a rewrite breaks an invariant.
+    """
     from repro.core.optimizer import constant_folding, cse, dead_code
 
     sg = Subgraph(
@@ -203,27 +248,46 @@ def run_pipeline(
         symbolic=symbolic,
     )
     stats: list[PassStats] = []
+    fingerprint = None
+    verifier = None
+    if verify:
+        from repro.analysis.graph_verifier import SubgraphDeltaVerifier
+
+        fingerprint = _rewrite_fingerprint(sg)
+        verifier = SubgraphDeltaVerifier(sg)
+
+    def ran(pass_stats: PassStats) -> None:
+        nonlocal fingerprint
+        stats.append(pass_stats)
+        if verify:
+            after = _rewrite_fingerprint(sg)
+            if after == fingerprint:
+                # The pass rewrote nothing; the previous verification
+                # still holds.
+                stats[-1].detail["verified"] = True
+            else:
+                fingerprint = after
+                _verify_last_pass(sg, stats, verifier)
+
     if options.dead_code:
-        stats.append(dead_code.collapse_identities(sg))
-        stats.append(dead_code.splice_noops(sg))
+        ran(dead_code.collapse_identities(sg))
+        ran(dead_code.splice_noops(sg))
     if options.common_subexpression:
-        stats.append(cse.merge_common_subexpressions(sg))
+        ran(cse.merge_common_subexpressions(sg))
     if options.constant_folding:
-        stats.append(
-            constant_folding.fold_constants(sg, options.max_folded_bytes)
-        )
+        ran(constant_folding.fold_constants(sg, options.max_folded_bytes))
     if options.collective_fusion:
         from repro.core.optimizer import collective_fusion
 
-        stats.append(
+        ran(
             collective_fusion.fuse_collectives(
                 sg, options.collective_fusion_bytes
             )
         )
     if options.dependency_pruning:
-        stats.append(dead_code.prune_redundant_control_deps(sg))
+        ran(dead_code.prune_redundant_control_deps(sg))
     if options.dead_code:
-        stats.append(_sweep_unreachable(sg))
+        ran(_sweep_unreachable(sg))
 
     # Flatten substitution chains so the partitioner does one lookup.
     flat_subs = {

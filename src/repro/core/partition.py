@@ -23,7 +23,8 @@ Given fetches and feeds, the partitioner:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Optional, Sequence
+
 
 from repro.core.graph import Graph, Operation
 from repro.core.ops.collective_ops import COLLECTIVE_OP_TYPES
@@ -97,6 +98,12 @@ class ExecutionPlan:
     # Collective op name -> resolved algorithm ("ring"/"tree"/...), the
     # lowering's per-payload "auto" decisions; copied into RunMetadata.
     collective_algorithms: dict = field(default_factory=dict)
+    # Findings the static verifier attached when the plan was built with
+    # verify=True (non-fatal ones only: errors raise instead). Empty when
+    # verification was off.
+    verifier_diagnostics: list = field(default_factory=list)
+    # True when this plan passed static verification at build time.
+    verified: bool = False
 
     @property
     def tasks(self) -> list:
@@ -129,6 +136,7 @@ def build_plan(
     run_id: int,
     optimizer_options=None,
     symbolic: bool = False,
+    verify: bool = False,
 ) -> ExecutionPlan:
     """Construct the execution plan for one session run.
 
@@ -138,6 +146,12 @@ def build_plan(
             default) builds the plan with no rewriting.
         symbolic: whether the session executes shape-only (constant folding
             evaluates with the same flag so folded values match execution).
+        verify: run the static analysis layer (:mod:`repro.analysis`):
+            ``verify_graph`` on the pruned closure before optimization and
+            after every optimizer pass, and ``verify_plan`` on the lowered
+            plan before it is returned (and therefore before the session
+            caches it). Raises :class:`~repro.errors.VerificationError`
+            on any error-severity finding.
     """
     # ---- 1. prune ---------------------------------------------------------
     needed: dict[str, Operation] = {}
@@ -161,6 +175,19 @@ def build_plan(
     # exist before the op is created.
     ordered = sorted(needed.values(), key=lambda o: o.node_id)
 
+    if verify:
+        # Verify the user's graph as pruned, before any rewriting: a
+        # pre-existing defect must not be attributed to an optimizer pass.
+        # No placer here — device strings are parsed only, so a device
+        # the cluster lacks still surfaces from the place stage below
+        # with its native error type (NotFoundError), not a
+        # VerificationError.
+        from repro.analysis import verify_graph
+
+        verify_graph(
+            graph, ops=ordered, context="pre-optimization graph", cache=True
+        ).raise_if_errors()
+
     # ---- 2. optimize -------------------------------------------------------
     opt = None
     pass_stats: list = []
@@ -169,7 +196,7 @@ def build_plan(
 
         opt = run_pipeline(
             graph, ordered, fetch_ops, fetch_tensors, feeds,
-            optimizer_options, symbolic=symbolic,
+            optimizer_options, symbolic=symbolic, verify=verify,
         )
         ordered = opt.ops
         pass_stats = list(opt.stats)
@@ -484,7 +511,7 @@ def build_plan(
         job, task = _job_task_of(item.device)
         devices_by_task.setdefault((job, task), set()).add(item.device)
 
-    return ExecutionPlan(
+    plan = ExecutionPlan(
         items=items,
         per_device=per_device,
         fetch_sources=fetch_sources,
@@ -493,6 +520,41 @@ def build_plan(
         pass_stats=pass_stats,
         collective_algorithms=collective_algorithms,
     )
+    if verify:
+        _verify_built_plan(plan)
+    return plan
+
+
+def _verify_built_plan(plan: ExecutionPlan) -> None:
+    """Run :func:`repro.analysis.verify_plan` on a freshly lowered plan.
+
+    Called before ``build_plan`` returns, so a defective plan can never
+    enter the session's plan cache. Non-fatal findings stay attached as
+    ``plan.verifier_diagnostics``; error findings raise. When the
+    ``REPRO_VERIFY_REPORT`` environment variable names a file, a JSON
+    line summarizing the verification is appended — the burn-in harness
+    and the CI verifier lane count plans through this channel.
+    """
+    import json
+    import os
+
+    from repro.analysis import verify_plan
+
+    report = verify_plan(plan)
+    plan.verifier_diagnostics = list(report.diagnostics)
+    plan.verified = report.ok
+    report_path = os.environ.get("REPRO_VERIFY_REPORT")
+    if report_path:
+        record = {
+            "items": len(plan.items),
+            "devices": len(plan.per_device),
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "diagnostics": [d.to_dict() for d in report.diagnostics],
+        }
+        with open(report_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+    report.raise_if_errors()
 
 
 def _is_double_precision(op) -> bool:

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import io
 import struct
-from typing import Any, BinaryIO, Optional
+from typing import Any, BinaryIO
+
 
 import numpy as np
 
 from repro import dtypes
-from repro.core.graph import Graph, Operation
+from repro.core.graph import Graph
+
 from repro.core.tensor import SymbolicValue
 from repro.errors import DataLossError, InvalidArgumentError, ResourceExhaustedError, UnimplementedError
 

@@ -19,10 +19,12 @@ concurrently inside one simulation (the paper's worker/reducer pattern).
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Optional, Union
+
 
 import numpy as np
 
@@ -33,7 +35,8 @@ from repro.core.optimizer import OptimizerOptions
 from repro.core.partition import FEED, _normalize_feeds, build_plan
 from repro.core.placement import Placer, canonical_device
 from repro.core.tensor import Tensor
-from repro.errors import InvalidArgumentError, NotFoundError
+from repro.errors import InvalidArgumentError
+
 from repro.runtime.clusterspec import ClusterSpec
 from repro.runtime.rendezvous import Rendezvous
 from repro.runtime.retry import RetryPolicy
@@ -97,6 +100,16 @@ class SessionConfig:
     # :class:`repro.runtime.retry.RetryPolicy` for capped exponential
     # backoff over simulated time.
     retry_policy: Optional["RetryPolicy"] = None
+    # Static verification (:mod:`repro.analysis`): re-verify the graph
+    # after every optimizer pass and verify the lowered plan before it
+    # enters the plan cache, raising VerificationError on violations.
+    # Defaults on when the REPRO_VERIFY_PLANS environment variable is a
+    # non-empty value other than "0" (how the test suite and the CI
+    # verifier lane switch it on fleet-wide).
+    verify_plans: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_VERIFY_PLANS", "0")
+        not in ("", "0")
+    )
 
 
 @dataclass
@@ -390,6 +403,7 @@ class Session:
                     else None
                 ),
                 symbolic=self.config.shape_only,
+                verify=self.config.verify_plans,
             )
             with self._cache_lock:
                 self._plan_cache[cache_key] = plan
@@ -439,6 +453,8 @@ class Session:
         metadata.plan_cache_hit = plan_cache_hit
         metadata.plan_cache_hits = prepared.cache_hits
         metadata.plan_cache_misses = prepared.cache_misses
+        metadata.plan_verified = plan.verified
+        metadata.verifier_warnings = len(plan.verifier_diagnostics)
 
         remote_tasks = [
             key

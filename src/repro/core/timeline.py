@@ -7,7 +7,6 @@ produced here loads in ``chrome://tracing`` / Perfetto.
 from __future__ import annotations
 
 import json
-from typing import Optional
 
 from repro.core.metadata import RunMetadata
 

@@ -24,6 +24,7 @@ __all__ = [
     "InternalError",
     "UnavailableError",
     "DataLossError",
+    "VerificationError",
 ]
 
 
@@ -130,3 +131,23 @@ class DataLossError(ReproError):
     """Unrecoverable corruption detected (bad checkpoint, bad wire data)."""
 
     code = "DATA_LOSS"
+
+
+class VerificationError(InvalidArgumentError):
+    """The static verifier rejected a graph or execution plan.
+
+    Raised by :mod:`repro.analysis` when a graph breaks a structural
+    invariant (cycle, dangling reference, shape/dtype inconsistency) or a
+    lowered plan contains a variable race, an unpaired send/recv, or a
+    collective schedule that cannot complete. Subclasses
+    :class:`InvalidArgumentError` because the rejected artifact — the
+    user's graph, or a plan an optimizer pass produced from it — is the
+    bad argument; ``diagnostics`` carries every
+    :class:`repro.analysis.Diagnostic` so callers see all findings, not
+    just the first.
+    """
+
+    def __init__(self, message: str, node_def: str | None = None,
+                 diagnostics: list | None = None):
+        super().__init__(message, node_def=node_def)
+        self.diagnostics = list(diagnostics or [])

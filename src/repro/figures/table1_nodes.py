@@ -88,13 +88,13 @@ def topology_diagram() -> str:
     lines = [
         "Kebnekaise K80 node (paper Fig. 9)",
         "",
-        f"  NUMA island 0                NUMA island 1",
-        f"  +--------------------+       +--------------------+",
+        "  NUMA island 0                NUMA island 1",
+        "  +--------------------+       +--------------------+",
         f"  | {island[0][0]:<8} {island[0][1]:<8} |  QPI  | {island[1][0]:<8} {island[1][1]:<8} |",
-        f"  |   (PCI-E)          |<----->|   (PCI-E)          |",
+        "  |   (PCI-E)          |<----->|   (PCI-E)          |",
         f"  | NIC: {node.machine.fabric.name:<13} |       |                    |",
-        f"  | + other I/O        |       |                    |",
-        f"  +--------------------+       +--------------------+",
+        "  | + other I/O        |       |                    |",
+        "  +--------------------+       +--------------------+",
         "",
         "  All I/O and network traffic funnels through island 0; GPUs on",
         "  island 1 cross the inter-socket link, and four co-located TF",

@@ -13,7 +13,6 @@ off the figures where only bars/curves are given (marked ``approx=True``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import NotFoundError
 

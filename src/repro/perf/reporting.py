@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
+
 
 from repro.perf.calibration import paper_target
 

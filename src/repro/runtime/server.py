@@ -10,7 +10,8 @@ queues placed on the task persist across sessions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Optional, Sequence
 
 from repro.core.kernels.registry import ResourceManager

@@ -33,13 +33,15 @@ trouble, deterministically.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import InvalidArgumentError, UnavailableError
-from repro.simnet.events import Environment, Interrupt
+from repro.simnet.events import Environment
+
 
 __all__ = [
     "WorkerCrash",

@@ -12,8 +12,9 @@ K80 board).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass
+
+
 
 from repro.simnet.events import Environment
 from repro.simnet.memory import MemoryPool

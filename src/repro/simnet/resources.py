@@ -16,7 +16,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Optional
 
-from repro.simnet.events import Environment, Event, NORMAL
+from repro.simnet.events import Environment, Event
+
 
 __all__ = ["Resource", "Store", "BandwidthLink", "Request"]
 

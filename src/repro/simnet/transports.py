@@ -20,7 +20,8 @@ The three protocols differ exactly where the paper says they do
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator
+
 
 from repro.errors import InvalidArgumentError
 from repro.simnet.events import AllOf, Environment

@@ -18,7 +18,8 @@ leaves to ``tf.train.Server`` on each rank.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
+
 
 from repro.errors import InvalidArgumentError, ResourceExhaustedError
 from repro.runtime.clusterspec import ClusterSpec

@@ -10,7 +10,8 @@ distribution, which the paper's resolver supports.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Optional, Sequence
 
 from repro.errors import InvalidArgumentError, ResourceExhaustedError

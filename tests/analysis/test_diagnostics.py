@@ -1,0 +1,125 @@
+"""Unit tests for the diagnostics core (rules, reports, error raising)."""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Report,
+    Severity,
+    get_rule,
+    register_rule,
+    rule_catalog,
+)
+from repro.errors import InvalidArgumentError, VerificationError
+
+
+class TestRuleRegistry:
+    def test_builtin_rules_registered(self):
+        names = {rule.name for rule in rule_catalog()}
+        assert "graph/cycle" in names
+        assert "plan/variable-race" in names
+        assert "plan/collective-order" in names
+
+    def test_catalog_sorted_by_scope_then_name(self):
+        catalog = rule_catalog()
+        keys = [(rule.scope, rule.name) for rule in catalog]
+        assert keys == sorted(keys)
+
+    def test_register_idempotent(self):
+        rule = get_rule("graph/cycle")
+        again = register_rule(
+            rule.name, rule.severity, rule.scope, rule.description
+        )
+        assert again == rule
+
+    def test_register_conflict_rejected(self):
+        rule = get_rule("graph/cycle")
+        with pytest.raises(ValueError):
+            register_rule(rule.name, rule.severity, rule.scope, "different")
+
+    def test_register_bad_scope_rejected(self):
+        with pytest.raises(ValueError):
+            register_rule("bogus/rule", Severity.ERROR, "universe", "x")
+
+
+class TestDiagnostic:
+    def test_format_names_every_location_field(self):
+        diag = Diagnostic(
+            rule="plan/variable-race",
+            severity=Severity.ERROR,
+            message="unordered writes",
+            op="w1",
+            item=3,
+            rank=1,
+            device="/device:gpu:0",
+            hint="add a control dependency",
+            opt_pass="cse",
+        )
+        text = diag.format()
+        assert "error: plan/variable-race" in text
+        assert "op=w1" in text and "item=#3" in text
+        assert "rank=1" in text and "device=/device:gpu:0" in text
+        assert "pass=cse" in text
+        assert "fix: add a control dependency" in text
+
+    def test_to_dict_round_trips_fields(self):
+        diag = Diagnostic(
+            rule="graph/cycle", severity=Severity.WARNING, message="m", op="a"
+        )
+        d = diag.to_dict()
+        assert d["rule"] == "graph/cycle"
+        assert d["severity"] == "WARNING"
+        assert d["op"] == "a" and d["rank"] is None
+
+
+class TestReport:
+    def test_emit_uses_rule_default_severity(self):
+        report = Report()
+        diag = report.emit("plan/orphan-recv", "no send")
+        assert diag.severity == Severity.ERROR
+
+    def test_emit_severity_override(self):
+        report = Report()
+        diag = report.emit(
+            "plan/variable-race", "both accumulate", severity=Severity.WARNING
+        )
+        assert diag.severity == Severity.WARNING
+        assert report.ok  # warnings do not fail verification
+
+    def test_attribute_stamps_only_unattributed(self):
+        report = Report()
+        report.emit("graph/cycle", "a")
+        report.add(
+            Diagnostic(
+                rule="graph/cycle",
+                severity=Severity.ERROR,
+                message="b",
+                opt_pass="earlier",
+            )
+        )
+        report.attribute("constant_folding")
+        passes = [d.opt_pass for d in report]
+        assert passes == ["constant_folding", "earlier"]
+
+    def test_raise_if_errors_carries_all_diagnostics(self):
+        report = Report(context="test")
+        report.emit("graph/cycle", "loop", op="a")
+        report.emit("plan/orphan-recv", "no send", severity=Severity.WARNING)
+        with pytest.raises(VerificationError) as excinfo:
+            report.raise_if_errors()
+        err = excinfo.value
+        assert err.node_def == "a"
+        assert len(err.diagnostics) == 2
+        assert isinstance(err, InvalidArgumentError)  # status-code contract
+
+    def test_clean_report_does_not_raise(self):
+        report = Report()
+        report.raise_if_errors()
+        assert report.ok and len(report) == 0
+        assert report.render().endswith("clean")
+
+    def test_merge_concatenates(self):
+        a, b = Report(), Report()
+        a.emit("graph/cycle", "x")
+        b.emit("graph/cycle", "y")
+        assert len(a.merge(b)) == 2

@@ -1,6 +1,5 @@
 """Application tests: numerics in concrete mode, shapes in shape-only mode."""
 
-import math
 
 import numpy as np
 import pytest
@@ -132,9 +131,9 @@ class TestCG:
         ckpt = str(tmp_path)
         full = run_cg(system="tegner-k80", n=n, num_gpus=workers,
                       iterations=8, shape_only=False, seed=5)
-        part1 = run_cg(system="tegner-k80", n=n, num_gpus=workers,
-                       iterations=4, shape_only=False, seed=5,
-                       checkpoint_dir=ckpt, checkpoint_every=4)
+        run_cg(system="tegner-k80", n=n, num_gpus=workers,
+               iterations=4, shape_only=False, seed=5,
+               checkpoint_dir=ckpt, checkpoint_every=4)
         resumed = run_cg(system="tegner-k80", n=n, num_gpus=workers,
                          iterations=4, shape_only=False, seed=5,
                          resume_dir=ckpt)

@@ -8,7 +8,8 @@ import pytest
 import repro as tf
 from repro.core.metadata import RunMetadata, RunOptions
 from repro.core.optimizer import OptimizerOptions
-from repro.core.partition import FEED, build_plan
+from repro.core.partition import build_plan
+
 from repro.core.placement import Placer
 from repro.errors import InvalidArgumentError
 

@@ -34,7 +34,7 @@ class TestPruning:
         g = tf.Graph()
         with g.as_default():
             a = tf.constant(1.0, name="a")
-            b = tf.constant(2.0, name="b")  # unreachable from fetch
+            tf.constant(2.0, name="b")  # unreachable from fetch
             c = tf.identity(a, name="c")
         plan = plan_for(g, fetch_tensors=[c])
         names = {i.op.name for i in plan.items if i.kind == "op"}

@@ -136,7 +136,7 @@ class TestDeterminism:
             machine = tegner(env, k420_nodes=2)
             cluster = tf.ClusterSpec({"ps": ["t01n01:8888"],
                                       "worker": ["t01n02:8888"]})
-            ps = tf.Server(cluster, "ps", 0, machine=machine)
+            tf.Server(cluster, "ps", 0, machine=machine)
             worker = tf.Server(cluster, "worker", 0, machine=machine)
             g = tf.Graph(seed=1)
             with g.as_default():

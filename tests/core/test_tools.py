@@ -1,7 +1,6 @@
 """Checkpointing, timeline, and debugger tooling."""
 
 import json
-import os
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Figure drivers: Table I derivation, formatting, and small live slices."""
 
-import numpy as np
 import pytest
 
 from repro.apps.fft import FFTResult

@@ -1,6 +1,5 @@
 """Metrics conventions, calibration registry, and report formatting."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -1,6 +1,5 @@
 """ModelServer end-to-end: byte-identity, deadlines, tenants, accounting."""
 
-import threading
 
 import numpy as np
 import pytest

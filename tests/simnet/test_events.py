@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.simnet.events import AllOf, AnyOf, Environment, Event, Interrupt
+from repro.simnet.events import AllOf, AnyOf, Environment, Interrupt
+
 
 
 @pytest.fixture()
