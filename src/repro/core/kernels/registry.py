@@ -16,15 +16,17 @@ yielding events.
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import NotFoundError, UnimplementedError
 
 __all__ = [
     "Cost",
     "KernelContext",
+    "OpConstraint",
     "ResourceManager",
     "register_kernel",
     "get_kernel",
@@ -35,6 +37,10 @@ __all__ = [
     "is_stateful",
     "is_graph_only",
     "pure_op_types",
+    "declare_op_constraint",
+    "op_constraint",
+    "declared_constraints",
+    "override_kernel",
 ]
 
 
@@ -205,3 +211,110 @@ def is_graph_only(op_type: str) -> bool:
 
 def pure_op_types() -> frozenset[str]:
     return frozenset(_PURE)
+
+
+# ---------------------------------------------------------------------------
+# declarative op constraints
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpConstraint:
+    """Machine-readable generation contract for one op type.
+
+    Declared next to the op's builder (the single place that knows the
+    call convention) and consumed by machinery that must *construct*
+    valid calls without hand-maintained per-op knowledge — today the
+    differential graph fuzzer (:mod:`repro.fuzz`), whose catalog crosses
+    these constraints with the registry's pure/stateful/graph-only flags
+    and the gradient registry.
+
+    Attributes:
+        op_type: the graph op type the builder creates.
+        builder: name of the flat-namespace builder
+            (``repro.core.ops.__all__``) that constructs the op.
+        arity: ``(min, max)`` count of *tensor* inputs the builder
+            accepts; ``max`` is a practical cap for generation, not a
+            builder limit (``add_n`` takes any number).
+        dtypes: input element-type names the kernel supports bit-exactly
+            (subset of ``{"float32", "float64", "int32", "bool",
+            "complex128"}``).
+        shape_rule: how output shapes relate to input shapes — the
+            dispatch key a generator uses to sample valid input shapes
+            and static attributes. One of: ``"source"`` (no tensor
+            inputs), ``"unary_same"``, ``"elementwise_broadcast"``,
+            ``"same_shape_n"``, ``"matmul"``, ``"dot"``, ``"reduce"``,
+            ``"cast"``, ``"reshape"``, ``"transpose"``, ``"concat"``,
+            ``"split"``, ``"stack"``, ``"squeeze"``, ``"expand_dims"``,
+            ``"slice"``, ``"variable_update"``, ``"collective"``.
+    """
+
+    op_type: str
+    builder: str
+    arity: tuple[int, int]
+    dtypes: tuple[str, ...]
+    shape_rule: str
+
+
+_CONSTRAINTS: dict[str, OpConstraint] = {}
+
+
+def declare_op_constraint(
+    op_type: str,
+    *,
+    builder: str,
+    arity: tuple[int, int],
+    dtypes: tuple[str, ...] = ("float32", "float64", "int32"),
+    shape_rule: str,
+) -> OpConstraint:
+    """Record the generation contract for ``op_type`` (idempotent per type)."""
+    if op_type in _CONSTRAINTS:
+        raise UnimplementedError(
+            f"Duplicate op-constraint declaration: {op_type}"
+        )
+    constraint = OpConstraint(
+        op_type=op_type,
+        builder=builder,
+        arity=(int(arity[0]), int(arity[1])),
+        dtypes=tuple(dtypes),
+        shape_rule=shape_rule,
+    )
+    _CONSTRAINTS[op_type] = constraint
+    return constraint
+
+
+def op_constraint(op_type: str) -> Optional[OpConstraint]:
+    """The declared constraint for ``op_type``, or None if undeclared."""
+    return _CONSTRAINTS.get(op_type)
+
+
+def declared_constraints() -> dict[str, OpConstraint]:
+    """Every declared constraint, keyed by op type (a copy)."""
+    return dict(_CONSTRAINTS)
+
+
+@contextlib.contextmanager
+def override_kernel(op_type: str, fn: Callable) -> Iterator[Callable]:
+    """Temporarily replace ``op_type``'s kernel (restores on exit).
+
+    Test-only: the fuzz harness's planted-defect tests register a
+    deliberately wrong kernel, prove the differential matrix catches it
+    and the shrinker minimizes it, then restore the real kernel. The
+    device-support table and purity flags are left untouched — a planted
+    bug must look exactly like the op it impersonates.
+
+    Caveat: plan-time constant folding memoizes folded values on the
+    *graph object*, so a graph executed before the override can replay
+    stale results under it. Build a fresh graph inside the override
+    scope (the fuzz harness materializes one per cell run).
+    """
+    try:
+        original = _KERNELS[op_type]
+    except KeyError:
+        raise NotFoundError(
+            f"No kernel registered for op type {op_type!r}"
+        ) from None
+    _KERNELS[op_type] = fn
+    try:
+        yield original
+    finally:
+        _KERNELS[op_type] = original

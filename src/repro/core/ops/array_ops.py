@@ -8,7 +8,7 @@ import numpy as np
 
 from repro import dtypes
 from repro.core.graph import Graph
-from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.kernels.registry import Cost, declare_op_constraint, register_kernel
 from repro.core.ops.common import (
     any_symbolic,
     graph_of,
@@ -545,3 +545,40 @@ def _slice_kernel(op, inputs, ctx):
         index = tuple(slice(b, b + s) for b, s in zip(begin, size))
         out = np.ascontiguousarray(np.asarray(x)[index])
     return [out], Cost(mem_bytes=2 * runtime_spec(out).nbytes, kind="memcpy")
+
+
+# ---------------------------------------------------------------------------
+# generation contracts (consumed by the repro.fuzz operator catalog)
+# ---------------------------------------------------------------------------
+
+_NUMERIC = ("float32", "float64", "int32")
+_FLOATS = ("float32", "float64")
+
+declare_op_constraint("Const", builder="constant", arity=(0, 0),
+                      dtypes=_NUMERIC, shape_rule="source")
+declare_op_constraint("Placeholder", builder="placeholder", arity=(0, 0),
+                      dtypes=_NUMERIC, shape_rule="source")
+declare_op_constraint("Identity", builder="identity", arity=(1, 1),
+                      dtypes=_NUMERIC + ("bool",), shape_rule="unary_same")
+declare_op_constraint("Cast", builder="cast", arity=(1, 1),
+                      dtypes=_NUMERIC + ("bool",), shape_rule="cast")
+declare_op_constraint("Reshape", builder="reshape", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="reshape")
+declare_op_constraint("Transpose", builder="transpose", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="transpose")
+declare_op_constraint("Concat", builder="concat", arity=(2, 4),
+                      dtypes=_NUMERIC, shape_rule="concat")
+declare_op_constraint("Split", builder="split", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="split")
+declare_op_constraint("Stack", builder="stack", arity=(2, 4),
+                      dtypes=_NUMERIC, shape_rule="stack")
+declare_op_constraint("Squeeze", builder="squeeze", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="squeeze")
+declare_op_constraint("ExpandDims", builder="expand_dims", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="expand_dims")
+declare_op_constraint("Fill", builder="fill", arity=(0, 0),
+                      dtypes=_NUMERIC, shape_rule="source")
+declare_op_constraint("ZerosLike", builder="zeros_like", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="unary_same")
+declare_op_constraint("Slice", builder="slice_", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="slice")

@@ -37,7 +37,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.kernels.registry import Cost, declare_op_constraint, register_kernel
 from repro.core.ops.common import any_symbolic, make_symbolic, runtime_spec, to_tensor
 from repro.core.tensor import Tensor, TensorShape
 from repro.errors import InvalidArgumentError
@@ -434,3 +434,19 @@ def _broadcast_kernel(op, inputs, ctx):
         return [make_symbolic(spec.shape, spec.dtype) for _ in range(world)], cost
     arr = np.asarray(value)
     return [arr.copy() for _ in range(world)], cost
+
+
+# ---------------------------------------------------------------------------
+# generation contracts (consumed by the repro.fuzz operator catalog)
+# ---------------------------------------------------------------------------
+
+_NUMERIC = ("float32", "float64", "int32")
+
+declare_op_constraint("CollectiveAllReduce", builder="all_reduce",
+                      arity=(2, 8), dtypes=_NUMERIC, shape_rule="collective")
+declare_op_constraint("CollectiveReduceScatter", builder="reduce_scatter",
+                      arity=(2, 8), dtypes=_NUMERIC, shape_rule="collective")
+declare_op_constraint("CollectiveAllGather", builder="all_gather",
+                      arity=(2, 8), dtypes=_NUMERIC, shape_rule="collective")
+declare_op_constraint("CollectiveBroadcast", builder="broadcast",
+                      arity=(1, 1), dtypes=_NUMERIC, shape_rule="collective")

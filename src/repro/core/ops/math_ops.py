@@ -8,7 +8,7 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro import dtypes
-from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.kernels.registry import Cost, declare_op_constraint, register_kernel
 from repro.core.ops.common import (
     any_symbolic,
     broadcast_static_shapes,
@@ -427,3 +427,46 @@ def _reduce_kernel(np_fn, extra_flops: float = 1.0):
 register_kernel("Sum", pure=True)(_reduce_kernel(np.sum))
 register_kernel("Mean", pure=True)(_reduce_kernel(np.mean, extra_flops=1.0))
 register_kernel("Max", pure=True)(_reduce_kernel(np.max))
+
+
+# ---------------------------------------------------------------------------
+# generation contracts (consumed by the repro.fuzz operator catalog)
+# ---------------------------------------------------------------------------
+
+_NUMERIC = ("float32", "float64", "int32")
+# Float-only: their kernels route through float intermediates whose cast
+# back to int is either lossy in surprising ways (Mean) or undefined for
+# inf/NaN (Div by zero, Sqrt of negatives).
+_FLOATS = ("float32", "float64")
+
+for _op, _builder in (("Add", "add"), ("Sub", "subtract"),
+                      ("Mul", "multiply"), ("Maximum", "maximum"),
+                      ("Minimum", "minimum")):
+    declare_op_constraint(_op, builder=_builder, arity=(2, 2),
+                          dtypes=_NUMERIC, shape_rule="elementwise_broadcast")
+declare_op_constraint("Div", builder="divide", arity=(2, 2),
+                      dtypes=_FLOATS, shape_rule="elementwise_broadcast")
+declare_op_constraint("GreaterEqual", builder="greater_equal", arity=(2, 2),
+                      dtypes=_NUMERIC, shape_rule="elementwise_broadcast")
+declare_op_constraint("Neg", builder="negative", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="unary_same")
+declare_op_constraint("Square", builder="square", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="unary_same")
+declare_op_constraint("Sqrt", builder="sqrt", arity=(1, 1),
+                      dtypes=_FLOATS, shape_rule="unary_same")
+declare_op_constraint("Exp", builder="exp", arity=(1, 1),
+                      dtypes=_FLOATS, shape_rule="unary_same")
+declare_op_constraint("Sigmoid", builder="sigmoid", arity=(1, 1),
+                      dtypes=_FLOATS, shape_rule="unary_same")
+declare_op_constraint("MatMul", builder="matmul", arity=(2, 2),
+                      dtypes=_FLOATS, shape_rule="matmul")
+declare_op_constraint("Dot", builder="dot", arity=(2, 2),
+                      dtypes=_FLOATS, shape_rule="dot")
+declare_op_constraint("AddN", builder="add_n", arity=(2, 4),
+                      dtypes=_NUMERIC, shape_rule="same_shape_n")
+declare_op_constraint("Sum", builder="reduce_sum", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="reduce")
+declare_op_constraint("Mean", builder="reduce_mean", arity=(1, 1),
+                      dtypes=_FLOATS, shape_rule="reduce")
+declare_op_constraint("Max", builder="reduce_max", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="reduce")

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro import dtypes
 from repro.core.graph import Graph, GraphKeys, get_default_graph
-from repro.core.kernels.registry import Cost, register_kernel
+from repro.core.kernels.registry import Cost, declare_op_constraint, register_kernel
 from repro.core.ops.common import graph_of, runtime_spec, to_tensor
 
 from repro.core.tensor import SymbolicValue, Tensor, TensorShape, as_shape
@@ -235,3 +235,19 @@ def _accumulate_kernel(np_op):
 
 register_kernel("AssignAdd", stateful=True)(_accumulate_kernel(np.add))
 register_kernel("AssignSub", stateful=True)(_accumulate_kernel(np.subtract))
+
+
+# ---------------------------------------------------------------------------
+# generation contracts (consumed by the repro.fuzz operator catalog)
+# ---------------------------------------------------------------------------
+
+_NUMERIC = ("float32", "float64", "int32")
+
+declare_op_constraint("VariableV2", builder="Variable", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="variable_update")
+declare_op_constraint("Assign", builder="assign", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="variable_update")
+declare_op_constraint("AssignAdd", builder="assign_add", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="variable_update")
+declare_op_constraint("AssignSub", builder="assign_sub", arity=(1, 1),
+                      dtypes=_NUMERIC, shape_rule="variable_update")

@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.metadata import PassStats
+from repro.errors import InternalError
 from repro.core.ops import array_ops, collective_ops
 from repro.core.optimizer.pipeline import Subgraph
 
@@ -72,7 +73,45 @@ def _rank_device_hints(sg: Subgraph, op) -> Optional[tuple]:
     return tuple(hints)
 
 
-def _fusible_signature(sg: Subgraph, op, max_bytes: int):
+def _collective_tainted(sg: Subgraph) -> set[str]:
+    """Names of ops that transitively depend on any collective.
+
+    Walked in ``sg.ops`` order (topological at pass entry), following
+    resolved data inputs and effective control deps. Fusing a collective
+    that sits downstream of another collective — even through plain math
+    in between — would make the fused op consume (a slice of) itself:
+    found by the differential fuzzer as seed 433, where the third of
+    three chained allreduces fused with the first and plan building spun
+    forever on the resulting cycle.
+    """
+    tainted: set[str] = set()
+
+    def _taints(producer) -> bool:
+        return (
+            producer.type in collective_ops.COLLECTIVE_OP_TYPES
+            or producer.name in tainted
+        )
+
+    for op in sg.ops:
+        hit = False
+        for tensor in op.inputs:
+            if tensor.name in sg.feeds:
+                continue
+            resolved = sg.resolve(tensor)
+            if resolved.name in sg.feeds:
+                continue
+            if _taints(resolved.op):
+                hit = True
+                break
+        if not hit:
+            hit = any(_taints(dep) for dep in sg.effective_control_deps(op))
+        if hit:
+            tainted.add(op.name)
+    return tainted
+
+
+def _fusible_signature(sg: Subgraph, op, max_bytes: int,
+                       tainted: set[str]):
     """Group key for ``op``, or ``None`` when the op must stay unfused."""
     if op.type != "CollectiveAllReduce":
         return None
@@ -80,12 +119,13 @@ def _fusible_signature(sg: Subgraph, op, max_bytes: int):
         return None  # fetched as an op: its lowering must survive
     if sg.effective_control_deps(op):
         return None  # ordered after other work: keep its own schedule slot
+    if op.name in tainted:
+        # Downstream of another collective (directly or through other
+        # ops): bucketing two links of a chain would make the fused op
+        # consume (a slice of) itself.
+        return None
     for tensor in op.inputs:
         if not tensor.shape.is_fully_defined:
-            return None
-        # Chained collectives stay unfused: bucketing two links of a
-        # chain would make the fused op consume (a slice of) itself.
-        if sg.resolve(tensor).op.type in collective_ops.COLLECTIVE_OP_TYPES:
             return None
     nbytes = (
         op.inputs[0].shape.num_elements() * op.inputs[0].dtype.size
@@ -192,6 +232,14 @@ def _restore_topological_order(sg: Subgraph) -> None:
                 state[op.name] = 1
                 order.append(op)
                 continue
+            if state.get(op.name) == 0:
+                # Re-reached while still on the DFS stack: the rewrite
+                # produced a cycle. Fail loudly — the old code revisited
+                # the node and spun forever (fuzz seed 433).
+                raise InternalError(
+                    "collective fusion produced a cyclic subgraph at "
+                    f"op {op.name!r}"
+                )
             state[op.name] = 0
             stack.append((op, True))
             deps = []
@@ -220,9 +268,10 @@ def fuse_collectives(sg: Subgraph, max_bucket_bytes: int) -> PassStats:
     collectives_before = sum(
         1 for op in sg.ops if op.type in collective_ops.COLLECTIVE_OP_TYPES
     )
+    tainted = _collective_tainted(sg)
     groups: dict = {}
     for op in sg.ops:
-        signature = _fusible_signature(sg, op, max_bucket_bytes)
+        signature = _fusible_signature(sg, op, max_bucket_bytes, tainted)
         if signature is not None:
             groups.setdefault(signature, []).append(op)
 

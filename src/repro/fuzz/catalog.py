@@ -1,0 +1,143 @@
+"""Operator catalog: which ops the fuzzer may draw, and under what contract.
+
+One :class:`CatalogEntry` per fuzzable op type, assembled by crossing
+three existing sources of truth — never duplicating them:
+
+* the *generation contracts* declared next to each builder
+  (:func:`repro.core.kernels.registry.declare_op_constraint`): arity,
+  input dtypes, and the shape rule the generator dispatches on;
+* the *kernel registry* flags: pure / stateful / graph-only;
+* the *gradient registry*: whether the op is differentiable, which
+  decides if its outputs may sit on a ``tf.gradients`` tail.
+
+Every pure op type with a kernel must either appear here or carry an
+entry in :data:`EXCLUDED_OPS` with a human-readable reason — the
+coverage test in ``tests/fuzz/test_catalog.py`` enforces it, so a newly
+registered op cannot silently dodge fuzzing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gradients import registered_gradient_op_types
+from repro.core.kernels.registry import (
+    OpConstraint,
+    declared_constraints,
+    is_graph_only,
+    is_pure,
+    is_stateful,
+    registered_op_types,
+)
+from repro.core.ops.collective_ops import COLLECTIVE_OP_TYPES
+
+__all__ = [
+    "CatalogEntry",
+    "EXCLUDED_OPS",
+    "catalog",
+    "catalog_entry",
+    "uncovered_op_types",
+]
+
+
+# Pure-or-registered op types deliberately NOT fuzzed, with the reason.
+# The coverage test fails when a registered op type is neither here nor
+# in the catalog: adding an op means choosing — fuzz it or document why
+# not.
+EXCLUDED_OPS: dict[str, str] = {
+    "FFT": "complex128-only; the host-merge cost model is exercised by "
+           "the fig11 figure tests, and complex payloads are outside "
+           "the fuzzer's dtype palette",
+    "IFFT": "complex128-only (see FFT)",
+    "NoOp": "produces no values to compare; ordering-only — covered "
+            "structurally by control-dependency chains the generator "
+            "already emits",
+    "Placeholder": "a graph *input*, not a drawn op: the generator "
+                   "plants placeholders itself so every frontend feeds "
+                   "identical values",
+    "RandomUniform": "stateful RNG lane: eager contexts and Session "
+                     "resource managers draw from differently keyed "
+                     "lanes, so cross-frontend byte-identity is not a "
+                     "contract these ops make",
+    "RandomNormal": "stateful RNG lane (see RandomUniform)",
+    "FIFOQueue": "graph-only runtime resource (blocks on simulated "
+                 "events); no eager semantics to differentiate against",
+    "QueueEnqueue": "graph-only queue traffic (see FIFOQueue)",
+    "QueueDequeue": "graph-only queue traffic (see FIFOQueue)",
+    "QueueClose": "graph-only queue traffic (see FIFOQueue)",
+    "QueueSize": "graph-only queue traffic (see FIFOQueue)",
+    "IteratorV2": "graph-only dataset resource (see FIFOQueue)",
+    "IteratorGetNext": "graph-only dataset traffic (see FIFOQueue)",
+    "ReadTile": "graph-only parallel-filesystem I/O; depends on files "
+                "staged into the simulated Lustre namespace",
+    "WriteTile": "graph-only parallel-filesystem I/O (see ReadTile)",
+}
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Everything the generator needs to draw one op type."""
+
+    op_type: str
+    builder: str
+    arity: tuple[int, int]
+    dtypes: tuple[str, ...]
+    shape_rule: str
+    differentiable: bool
+    pure: bool
+    stateful: bool
+    collective: bool
+
+
+def _entry(constraint: OpConstraint) -> CatalogEntry:
+    return CatalogEntry(
+        op_type=constraint.op_type,
+        builder=constraint.builder,
+        arity=constraint.arity,
+        dtypes=constraint.dtypes,
+        shape_rule=constraint.shape_rule,
+        differentiable=(
+            constraint.op_type in registered_gradient_op_types()
+        ),
+        pure=is_pure(constraint.op_type),
+        stateful=is_stateful(constraint.op_type),
+        collective=constraint.op_type in COLLECTIVE_OP_TYPES,
+    )
+
+
+def catalog() -> dict[str, CatalogEntry]:
+    """The full fuzz catalog, keyed by op type.
+
+    Derived fresh on each call so kernels/constraints registered later
+    (e.g. a planted-defect test op) are picked up.
+    """
+    entries: dict[str, CatalogEntry] = {}
+    for op_type, constraint in declared_constraints().items():
+        if op_type in EXCLUDED_OPS:
+            continue
+        if is_graph_only(op_type):
+            # Graph-only kernels cannot run under the eager frontend, so
+            # they cannot participate in the differential matrix.
+            continue
+        entries[op_type] = _entry(constraint)
+    return entries
+
+
+def catalog_entry(op_type: str) -> CatalogEntry:
+    entry = catalog().get(op_type)
+    if entry is None:
+        raise KeyError(f"{op_type!r} is not in the fuzz catalog")
+    return entry
+
+
+def uncovered_op_types() -> tuple[str, ...]:
+    """Registered op types neither fuzzed nor on the exclusion list.
+
+    Non-empty output fails the coverage test: every new op must either
+    declare a generation contract (and thereby join the catalog) or be
+    excluded with a reason.
+    """
+    covered = set(catalog()) | set(EXCLUDED_OPS)
+    return tuple(
+        op_type for op_type in registered_op_types() if op_type not in covered
+    )

@@ -1,0 +1,79 @@
+"""Regression for fuzz seed 433 (campaign at --ops 24 --max-world 8).
+
+Three chained allreduces: the third is small and same-configuration as
+the first, so the fusion pass bucketed them together — but the third
+*transitively* depends on the first (through plain math fed by the
+second collective), so the fused op consumed a slice of itself and
+``_restore_topological_order`` spun forever on the cycle. The pass now
+excludes any collective downstream of another collective, and the
+topological sort raises InternalError on a cycle instead of hanging.
+"""
+
+import signal
+
+import numpy as np
+import pytest
+
+import repro as tf
+
+
+def _chained_allreduce_graph(world):
+    devices = tuple(f"/device:gpu:{r}" for r in range(world))
+    values = [
+        np.asarray([1.0 + r, 2.0, 3.0 - r], dtype=np.float32)
+        for r in range(world)
+    ]
+    first = tf.all_reduce(
+        [tf.constant(v) for v in values], devices=devices, algorithm="ring"
+    )
+    # Plain math between the collectives — the one-hop producer check
+    # used to miss this dependency.
+    sums = [tf.reduce_sum(t, keepdims=True) for t in first]
+    second = tf.all_reduce(sums, devices=devices, algorithm="ring")
+    third = tf.all_reduce(
+        [tf.reduce_sum(t, keepdims=True) for t in second],
+        devices=devices, algorithm="ring",
+    )
+    return first + second + third
+
+
+def _run(world, fusion):
+    g = tf.Graph()
+    with g.as_default():
+        fetches = _chained_allreduce_graph(world)
+    config = tf.SessionConfig(
+        num_gpus=world,
+        optimizer=tf.OptimizerOptions(collective_fusion=fusion),
+    )
+    with tf.Session(graph=g, config=config) as sess:
+        return sess.run(fetches)
+
+
+def test_fusing_chained_allreduces_terminates_and_matches():
+    world = 3
+    # Guard the regression itself: the pre-fix failure mode was an
+    # infinite loop in plan building, not a wrong answer.
+    def _timed_out(signum, frame):
+        raise TimeoutError("plan build did not terminate (seed 433)")
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(60)
+    try:
+        fused = _run(world, fusion=True)
+        plain = _run(world, fusion=False)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+    assert len(fused) == 3 * world
+    for a, b in zip(fused, plain):
+        assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+
+
+def test_fuzz_seed_433_runs_clean():
+    pytest.importorskip("repro.fuzz")
+    from repro.fuzz.generator import GeneratorOptions, generate
+    from repro.fuzz.harness import run_program
+
+    program = generate(433, GeneratorOptions(max_ops=24, max_world=8))
+    report = run_program(program)
+    assert report.ok, [d.describe() for d in report.divergences]

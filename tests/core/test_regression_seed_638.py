@@ -1,0 +1,52 @@
+"""Regression for fuzz seed 638 (campaign at --ops 24 --max-world 8).
+
+The shrunk repro: a variable whose initializer transitively depends on a
+placeholder (here through another variable's update chain). The session
+frontend runs it fine when the feed is supplied, but a traced function
+pre-runs every variable initializer *without* feeds, so tracing such a
+graph must fail with a clear "requires a feed value" error — it cannot
+silently initialize from garbage. The generator-side fix (update outputs
+inherit the variable state's feed taint) lives in
+tests/fuzz/test_generator.py.
+"""
+
+import numpy as np
+import pytest
+
+import repro as tf
+from repro.errors import InvalidArgumentError
+
+
+def _feed_tainted_variable(ph):
+    """w's initializer reads v after v was assigned the placeholder."""
+    g = tf.get_default_graph()
+    v = tf.Variable(np.ones(2, dtype=np.float32), name="v")
+    with g.control_dependencies([v.initializer]):
+        wrote = tf.assign(v, ph)
+    with g.control_dependencies([wrote]):
+        bump = tf.assign_add(v, tf.constant(np.ones(2, dtype=np.float32)))
+    w = tf.Variable(bump, name="w")
+    return w
+
+
+def test_session_runs_feed_dependent_initializer_with_feeds():
+    g = tf.Graph()
+    with g.as_default():
+        ph = tf.placeholder(tf.float32, shape=(2,), name="x")
+        w = _feed_tainted_variable(ph)
+        read = tf.identity(w.value())
+    with tf.Session(graph=g) as sess:
+        feed = {ph: np.array([0.5, -1.5], dtype=np.float32)}
+        sess.run(w.initializer, feed_dict=feed)
+        np.testing.assert_allclose(sess.run(read, feed_dict=feed),
+                                   [1.5, -0.5])
+
+
+def test_traced_function_rejects_feed_dependent_initializer():
+    def body(x):
+        w = _feed_tainted_variable(x)
+        return tf.identity(w.value())
+
+    fn = tf.function(body, name="seed_638")
+    with pytest.raises(InvalidArgumentError, match="requires a feed value"):
+        fn(np.array([0.5, -1.5], dtype=np.float32))

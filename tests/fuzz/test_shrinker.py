@@ -1,0 +1,187 @@
+"""Shrinker: planted defects reduce to minimal, still-failing repros."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels.registry import get_kernel, override_kernel
+from repro.fuzz.generator import Instr, Program, generate
+from repro.fuzz.harness import Cell, has_divergence, run_program
+from repro.fuzz.shrinker import shrink
+
+EAGER = Cell(frontend="eager")
+
+
+def _buggy_eager_mul(original):
+    """Wrong only under the eager interpreter (ctx.env is None)."""
+
+    def kernel(op, inputs, ctx):
+        outputs, cost = original(op, inputs, ctx)
+        if ctx.env is None and isinstance(outputs[0], np.ndarray):
+            outputs = [outputs[0] + np.asarray(1, dtype=outputs[0].dtype)]
+        return outputs, cost
+
+    return kernel
+
+
+def _const(value):
+    arr = np.asarray(value, dtype=np.float32)
+    return Instr(op_type="Const", value=arr,
+                 out_dtypes=("float32",), out_shapes=(arr.shape,))
+
+
+def _binary(op_type, a, b, shape=(2,)):
+    return Instr(op_type=op_type, inputs=(a, b),
+                 out_dtypes=("float32",), out_shapes=(shape,))
+
+
+def _padded_mul_program() -> Program:
+    """A 12-instruction program whose only defect-reachable op is one Mul."""
+    instrs = [
+        _const([1.5, -2.0]),          # 0
+        _const([0.5, 4.0]),           # 1
+        _const([[1.0, 2.0], [3.0, 4.0]]),  # 2 decoy
+        _binary("Add", (0, 0), (1, 0)),    # 3 decoy chain
+        _binary("Sub", (3, 0), (0, 0)),    # 4 decoy chain
+        _binary("Mul", (0, 0), (1, 0)),    # 5 <- the planted-bug site
+        _binary("Add", (5, 0), (4, 0)),    # 6 propagates the bug
+        _const([9.0, 9.0]),           # 7 decoy
+        _binary("Maximum", (6, 0), (7, 0)),  # 8 propagates further
+        _binary("Add", (2, 0), (2, 0), shape=(2, 2)),  # 9 decoy
+        _binary("Sub", (9, 0), (2, 0), shape=(2, 2)),  # 10 decoy
+        _binary("Add", (4, 0), (7, 0)),    # 11 decoy
+    ]
+    # Note (8, 0) masks the defect (Maximum against 9.0 swallows the
+    # perturbation) — only (6, 0) exposes it, so fetch reduction has
+    # real work to do.
+    return Program(
+        instrs=instrs,
+        fetches=[(8, 0), (10, 0), (6, 0), (11, 0), (4, 0)],
+        seed=424242,
+    )
+
+
+def test_shrinker_reduces_planted_bug_to_five_ops_or_fewer():
+    program = _padded_mul_program()
+    assert run_program(program).ok  # healthy: the matrix agrees
+    with override_kernel("Mul", _buggy_eager_mul(get_kernel("Mul"))):
+        report = run_program(program)
+        assert not report.ok
+        target = next(
+            d.cell for d in report.divergences
+            if d.cell.frontend == "eager"
+        )
+        result = shrink(program, target)
+        # The acceptance bar: a 12-instruction failing graph converges
+        # to a minimal repro of at most 5 instructions...
+        assert result.ops <= 5, (
+            f"shrunk to {result.ops} instrs: "
+            f"{[i.op_type for i in result.program.instrs]}"
+        )
+        # ...that still contains the defective op and still fails.
+        assert any(
+            ins.op_type == "Mul" for ins in result.program.instrs
+        )
+        assert has_divergence(result.program, target)
+        assert result.original_ops == 12
+    # Kernel restored: the shrunk program is healthy again.
+    assert not has_divergence(result.program, target)
+
+
+def test_shrinker_on_generated_program():
+    # Same planted bug, but on a generator-drawn graph (the real
+    # campaign path): find a seed with a live Mul, break Mul, shrink.
+    program = None
+    for seed in range(200):
+        candidate = generate(seed)
+        live = candidate.live_set()
+        if any(candidate.instrs[i].op_type == "Mul" for i in live):
+            program = candidate
+            break
+    assert program is not None, "no live Mul in 200 seeds"
+    with override_kernel("Mul", _buggy_eager_mul(get_kernel("Mul"))):
+        report = run_program(program)
+        assert not report.ok
+        target = next(
+            d.cell for d in report.divergences
+            if d.cell.frontend == "eager"
+        )
+        result = shrink(program, target)
+        assert result.ops <= 5
+        assert result.ops < result.original_ops
+        assert has_divergence(result.program, target)
+
+
+def test_shrunk_repro_script_fails_buggy_and_passes_fixed(tmp_path):
+    program = _padded_mul_program()
+    with override_kernel("Mul", _buggy_eager_mul(get_kernel("Mul"))):
+        result = shrink(program, EAGER)
+        script = result.program.to_python(cell=EAGER)
+        path = tmp_path / "seed_424242_eager.py"
+        path.write_text(script, encoding="utf-8")
+        namespace = {"__name__": "__main__", "__file__": str(path)}
+        with pytest.raises(AssertionError):
+            exec(compile(script, str(path), "exec"), dict(namespace))
+    # Defect fixed (kernel restored): the same script now passes — the
+    # property that lets corpus/ scripts double as regression tests.
+    exec(compile(script, str(path), "exec"), dict(namespace))
+
+
+def _seed_638_shape() -> Program:
+    """The fuzzer's first real find: a variable initializer that reads
+    another variable's state after a placeholder was assigned into it.
+    Traced functions pre-run initializers without feeds, so only the
+    function cells error — and the fault is *dead code* for the fetch."""
+    ph = np.array([0.5, -1.5], dtype=np.float32)
+    ones = np.array([1.0, 1.0], dtype=np.float32)
+    instrs = [
+        Instr(op_type="Placeholder", value=ph,
+              out_dtypes=("float32",), out_shapes=((2,),)),
+        Instr(op_type="Const", value=ones,
+              out_dtypes=("float32",), out_shapes=((2,),)),
+        Instr(op_type="VariableV2", inputs=((1, 0),)),
+        Instr(op_type="Assign", inputs=((0, 0),), attrs={"var": 2},
+              control=("init:2",),
+              out_dtypes=("float32",), out_shapes=((2,),)),
+        Instr(op_type="AssignAdd", inputs=((1, 0),), attrs={"var": 2},
+              control=("op:3",),
+              out_dtypes=("float32",), out_shapes=((2,),)),
+        Instr(op_type="VariableV2", inputs=((4, 0),)),
+    ]
+    return Program(instrs=instrs, fetches=[(1, 0)], seed=638)
+
+
+def test_sweep_is_verified_when_fault_is_dead_for_the_fetches():
+    # Regression: the shrinker once applied the dead-code sweep without
+    # re-checking the oracle, so this program "shrank" to its one live
+    # Const — which of course no longer failed anywhere.
+    program = _seed_638_shape()
+    report = run_program(program)
+    assert not report.ok
+    target = next(
+        d.cell for d in report.divergences
+        if d.cell.frontend == "function"
+    )
+    result = shrink(program, target)
+    assert has_divergence(result.program, target), (
+        "shrinker returned a program that does not reproduce"
+    )
+    kinds = [ins.op_type for ins in result.program.instrs]
+    assert "Placeholder" in kinds and kinds.count("VariableV2") == 2
+
+
+def test_shrink_returns_unchanged_when_nothing_diverges():
+    program = _padded_mul_program()
+    result = shrink(program, EAGER)
+    assert result.rounds == 0
+    assert result.ops == program.op_count()
+
+
+def test_shrinker_is_deterministic():
+    program = _padded_mul_program()
+    with override_kernel("Mul", _buggy_eager_mul(get_kernel("Mul"))):
+        first = shrink(program, EAGER)
+        second = shrink(program, EAGER)
+    assert [i.op_type for i in first.program.instrs] == [
+        i.op_type for i in second.program.instrs
+    ]
+    assert first.program.fetches == second.program.fetches
