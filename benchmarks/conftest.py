@@ -29,6 +29,7 @@ BENCH_FAULT_TOLERANCE_JSON = os.path.join(
 )
 BENCH_SERVING_JSON = os.path.join(RESULTS_DIR, "BENCH_serving.json")
 BENCH_VERIFIER_JSON = os.path.join(RESULTS_DIR, "BENCH_verifier.json")
+BENCH_COMPILED_JSON = os.path.join(RESULTS_DIR, "BENCH_compiled.json")
 
 
 @pytest.fixture(scope="session")
@@ -207,5 +208,25 @@ def record_verifier_bench(_verifier_bench_records):
 
     def record(name: str, **fields) -> None:
         _verifier_bench_records[name] = fields
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def _compiled_bench_records(results_dir):
+    """Accumulator for the compiled-lane A/B (BENCH_compiled.json)."""
+    records: dict = {}
+    yield records
+    _flush_records(BENCH_COMPILED_JSON, records)
+
+
+@pytest.fixture
+def record_compiled_bench(_compiled_bench_records):
+    """Like ``record_bench``, flushed to ``BENCH_compiled.json`` — the
+    kernel-fusion compiled-lane host-wall A/B (legacy / fast /
+    fast+fused) per workload, tracked across PRs."""
+
+    def record(name: str, **fields) -> None:
+        _compiled_bench_records[name] = fields
 
     return record

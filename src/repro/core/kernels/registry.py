@@ -36,7 +36,9 @@ __all__ = [
     "is_pure",
     "is_stateful",
     "is_graph_only",
+    "is_inline",
     "pure_op_types",
+    "inline_op_types",
     "declare_op_constraint",
     "op_constraint",
     "declared_constraints",
@@ -126,6 +128,7 @@ _DEVICE_SUPPORT: dict[str, tuple[str, ...]] = {}
 _PURE: set[str] = set()
 _STATEFUL: set[str] = set()
 _GRAPH_ONLY: set[str] = set()
+_INLINE: set[str] = set()
 
 
 def register_kernel(
@@ -135,6 +138,7 @@ def register_kernel(
     pure: bool = False,
     stateful: bool = False,
     graph_only: bool = False,
+    inline: bool = False,
 ):
     """Class/function decorator registering a kernel for ``op_type``.
 
@@ -156,11 +160,22 @@ def register_kernel(
       on simulated runtime events or manages runtime resources). Kernels
       written as generators are graph-only implicitly; this flag marks the
       non-generator stragglers (queue bookkeeping, iterators).
+    * ``inline`` — the kernel is a plain function that never yields,
+      never blocks, and always resolves to a zero-duration cost (kind
+      "none"/"sync" with no device seconds): metadata ops, constants,
+      variable reads. The executor dispatches these synchronously off its
+      ready list (no calendar events) while still honouring device-FIFO
+      order, so the flag is a promise about *cost*, not just purity.
     """
 
     def wrap(fn: Callable) -> Callable:
         if op_type in _KERNELS:
             raise UnimplementedError(f"Duplicate kernel registration: {op_type}")
+        if inline and (graph_only or inspect.isgeneratorfunction(fn)):
+            raise UnimplementedError(
+                f"{op_type}: inline=True needs a non-blocking plain-function "
+                f"kernel (generator/graph_only kernels advance the clock)"
+            )
         _KERNELS[op_type] = fn
         _DEVICE_SUPPORT[op_type] = tuple(devices)
         if pure:
@@ -169,6 +184,8 @@ def register_kernel(
             _STATEFUL.add(op_type)
         if graph_only or inspect.isgeneratorfunction(fn):
             _GRAPH_ONLY.add(op_type)
+        if inline:
+            _INLINE.add(op_type)
         return fn
 
     return wrap
@@ -209,8 +226,17 @@ def is_graph_only(op_type: str) -> bool:
     return op_type in _GRAPH_ONLY
 
 
+def is_inline(op_type: str) -> bool:
+    """Whether the op's kernel is zero-duration and inline-dispatchable."""
+    return op_type in _INLINE
+
+
 def pure_op_types() -> frozenset[str]:
     return frozenset(_PURE)
+
+
+def inline_op_types() -> frozenset[str]:
+    return frozenset(_INLINE)
 
 
 # ---------------------------------------------------------------------------

@@ -371,13 +371,13 @@ def _memcpy_cost(*values) -> Cost:
     return Cost(mem_bytes=nbytes, kind="memcpy")
 
 
-@register_kernel("Const", pure=True)
+@register_kernel("Const", pure=True, inline=True)
 def _const_kernel(op, inputs, ctx):
     value = op.get_attr("value")
     return [value], Cost.none()
 
 
-@register_kernel("Placeholder")
+@register_kernel("Placeholder", inline=True)
 def _placeholder_kernel(op, inputs, ctx):
     name = op.outputs[0].name
     if name not in ctx.feeds:
@@ -396,7 +396,7 @@ def _placeholder_kernel(op, inputs, ctx):
     return [value], Cost.none()
 
 
-@register_kernel("Identity", pure=True)
+@register_kernel("Identity", pure=True, inline=True)
 def _identity_kernel(op, inputs, ctx):
     return [inputs[0]], Cost.none()
 
@@ -412,7 +412,7 @@ def _cast_kernel(op, inputs, ctx):
     return [out], _memcpy_cost(x, out)
 
 
-@register_kernel("Reshape", pure=True)
+@register_kernel("Reshape", pure=True, inline=True)
 def _reshape_kernel(op, inputs, ctx):
     (x,) = inputs
     new_shape = op.get_attr("shape")
@@ -482,7 +482,7 @@ def _stack_kernel(op, inputs, ctx):
     return [out], _memcpy_cost(*inputs)
 
 
-@register_kernel("Squeeze", pure=True)
+@register_kernel("Squeeze", pure=True, inline=True)
 def _squeeze_kernel(op, inputs, ctx):
     (x,) = inputs
     axis = op.get_attr("axis")
@@ -498,7 +498,7 @@ def _squeeze_kernel(op, inputs, ctx):
     return [out], Cost.none()
 
 
-@register_kernel("ExpandDims", pure=True)
+@register_kernel("ExpandDims", pure=True, inline=True)
 def _expand_dims_kernel(op, inputs, ctx):
     (x,) = inputs
     axis = op.get_attr("axis")

@@ -183,7 +183,7 @@ def global_variables_initializer(graph: Optional[Graph] = None, name: str = "ini
 # kernels
 # ---------------------------------------------------------------------------
 
-@register_kernel("VariableV2")
+@register_kernel("VariableV2", inline=True)
 def _variable_kernel(op, inputs, ctx):
     store = ctx.resources.variables
     if op.name not in store:

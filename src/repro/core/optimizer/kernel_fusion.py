@@ -1,0 +1,598 @@
+"""Plan-level kernel fusion: compile pure-op chains into single items.
+
+This is the compiled executor lane ROADMAP calls "the raw-speed refactor
+every future workload inherits", and the reproduction-scale analogue of
+the subgraph-compilation path in the TensorFlow system paper. The fast
+executor still pays per-item Python dispatch — ready-queue churn,
+dependency-counter updates, kernel lookup, per-item source resolution —
+for every one of the ~934 items in a fused SGD step. This pass runs over
+the *lowered* plan (after transfer coalescing) and rewrites each maximal
+same-device chain of pure ops into one ``kind="fused"`` item carrying a
+:class:`CompiledChain`: per-member kernel, op, precomputed input wiring
+and refcount decrements.
+
+Correctness bar (enforced by tests and the fuzz matrix): fetch values
+AND simulated time are byte-identical to the unfused plan. The compiled
+runner replays each member's device hold, GIL hold and cost timeout at
+exactly the timestamps the unfused dispatcher would produce. The fast
+path's chain runner lives in :mod:`repro.core.executor` (it cooperates
+with the dispatcher's ready deque); the legacy lane drives
+:meth:`CompiledChain.run`. The executor's merged single-event path
+additionally collapses a chain into one calendar event when the device
+is provably uncontended for the whole span (see
+``_Dispatcher._run_chain_merged``); its only observable narrowing is the
+device pool's alloc/free *interleaving* against concurrent transport
+completions — values and simulated time are still exact.
+
+Chain legality — member ``c`` may extend the chain ending at ``t`` iff:
+
+* ``c`` is a same-device ``"op"`` item whose kernel is registered pure
+  (and not stateful/graph-only/blocking) and reads at least one of
+  ``t``'s outputs;
+* every *external* producer of ``c`` — value or control — is ``t`` itself
+  or an ancestor of ``t``. By induction this puts every member's external
+  inputs upstream of the chain *head*, so the fused item becomes ready at
+  exactly the instant the head would have, and each member starts exactly
+  when its unfused twin would (its only pending trigger is the previous
+  member's completion).
+
+With ``multi_consumer=True`` (the fast-path lane) a member's outputs may
+also be observed *outside* the chain — by other items' values or control
+deps, or by fetches. The executor's chain runner then publishes the
+member's outputs under the member item itself and notifies the external
+dependents at the member's completion instant, ordered exactly as the
+unfused dispatcher's ready list would have been (externals that precede
+the next member in plan order are dispatched before the chain reacquires
+the device; the rest after). The legacy lane has no such notification
+hook, so legacy plans are built with ``multi_consumer=False`` and only
+fuse sole-consumer runs.
+
+Everything else — sends/recvs, collectives, consts, variable ops, queue
+ops, cross-device edges — breaks the chain by construction of the rules.
+
+With ``OptimizerOptions.kernel_fusion_codegen`` the chain's uncontended
+evaluator (:attr:`CompiledChain.compute`, used by the executor's merged
+single-timeout path) is compiled to generated straight-line Python
+source, ``exec``'d once at plan build: same kernels, with the member
+constants (op types, double precision, input wiring) inlined instead of
+interpreted per step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.executor import _NO_DEVICE_HOLD, _record_member
+from repro.core.kernels import registry as kernel_registry
+from repro.core.metadata import PassStats
+from repro.core.partition import FEED, Item
+
+__all__ = ["CompiledChain", "fuse_kernel_chains"]
+
+# Cost kinds the executing device charges simulated time for (mirrors
+# executor._cost_seconds; "sync"/"none" costs take zero seconds).
+_TIMED = frozenset(("compute", "memcpy", "io"))
+
+
+class _MemberStep:
+    """One op of a compiled chain, with its wiring precomputed.
+
+    ``spec`` lists one token per kernel input: ``("x", k)`` reads the
+    fused item's k-th external source (resolved once at chain start),
+    ``("v", pos, idx)`` reads output ``idx`` of the member at ``pos``.
+    ``consumes`` lists the ``(producer item, output idx)`` refcount
+    decrements this member performs on completion — external producers
+    are post-remap canonical items, intra-chain producers are the member
+    items themselves (their outputs are registered under member uids).
+    ``next_order`` is the plan-order position the *next* member held in
+    the unfused plan (``None`` for the tail): the fast path's runner uses
+    it to slot the chain continuation among the member's newly-ready
+    external dependents exactly where the unfused ready list would have
+    put it.
+    """
+
+    __slots__ = (
+        "member", "op", "kernel", "spec", "consumes", "inline", "next_order"
+    )
+
+    def __init__(self, member, op, kernel, spec, consumes, inline,
+                 next_order):
+        self.member = member
+        self.op = op
+        self.kernel = kernel
+        self.spec = spec
+        self.consumes = consumes
+        self.inline = inline
+        self.next_order = next_order
+
+
+class CompiledChain:
+    """The executable form of one fused chain.
+
+    ``compute(ext, ctx, device)`` evaluates every member kernel back to
+    back with no simulator interaction and returns ``(vals, seconds,
+    host_bytes)`` — the executor's merged path uses it when it can prove
+    the device is uncontended for the chain's whole span.  ``run(state,
+    item)`` is the legacy lane's generator, event-for-event identical to
+    the members' unfused execution.  Both live on ``Item.compiled``,
+    which the session's plan-cache reset leaves alone — a cached plan
+    keeps its compiled chains.
+    """
+
+    __slots__ = ("steps", "n_outputs", "source", "run", "compute",
+                 "mergeable", "__weakref__")
+
+    def __init__(self, steps: tuple, n_outputs: int, codegen: bool = False):
+        self.steps = steps
+        self.n_outputs = n_outputs
+        self.source: Optional[str] = None
+        # Merged-path eligibility (no member may have external observers);
+        # resolved lazily by the executor once the dependency graph exists.
+        self.mergeable: Optional[bool] = None
+        self.run = _make_runner(self)
+        if codegen:
+            self.compute, self.source = _compile_compute_source(self)
+        else:
+            self.compute = _make_compute(self)
+
+
+def _make_runner(chain: CompiledChain):
+    """The legacy lane's chain runner (a plain generator).
+
+    Event-for-event identical to running each member as its own legacy
+    process: per member — unconditional device claim through
+    ``resource.request()`` (the legacy lane has no inline/try-acquire
+    shortcut, even for zero-cost ops), kernel call while holding the
+    slot, cost timeout under the GIL when host-bound, device release,
+    then allocation/refcount bookkeeping at the member's completion
+    instant.
+
+    Between members the runner yields two already-succeeded events.
+    Unfused, a member's completion reaches its successor through exactly
+    two URGENT calendar entries — the producer's ``Process`` completion
+    event, then the successor's ``AllOf`` — and any same-timestamp
+    contender whose events sit between them in the calendar claims the
+    device FIFO first.  The hops reproduce those two slots so fusion
+    cannot reorder same-instant FIFO grants (found by the differential
+    fuzzer: two independent ops swapping their grant order shifted
+    simulated time by nanoseconds).
+
+    Only sole-consumer chains run here (legacy plans are built with
+    ``multi_consumer=False``): mid-chain members have no external
+    observers, so no notification hook is needed.
+    """
+    steps = chain.steps
+    last = len(steps) - 1
+
+    def run(state, item):
+        env = state.env
+        device = state.device_obj(item.device)
+        resource = device.resource
+        task = state.task_runtime(item.device)
+        ctx = state.kernel_ctx(item.device)
+        faults = state.fault_injector
+        trace = state.trace and state.metadata is not None
+        resolve = state.resolve_source
+        register = state.register_outputs
+        consume = state.consume
+        ext = [resolve(s) for s in item.sources]
+        vals: list = [None] * len(steps)
+        for pos, step in enumerate(steps):
+            if pos:
+                # The two URGENT hops a member-to-member handoff takes
+                # unfused (producer Process completion, successor AllOf).
+                hop = env.event()
+                hop.succeed()
+                yield hop
+                hop = env.event()
+                hop.succeed()
+                yield hop
+            if faults is not None and state.task_down(item.device):
+                # The task died mid-chain: park forever, as the member's
+                # unfused dispatch would. Peers' deadlines report it.
+                state.park_stalled(item)
+                yield env.event()
+            start = env.now
+            request = resource.request()
+            yield request
+            spec = step.spec
+            inputs = [
+                ext[t[1]] if t[0] == "x" else vals[t[1]][t[2]] for t in spec
+            ]
+            try:
+                outputs, cost = step.kernel(step.op, inputs, ctx)
+                if cost.kind in _TIMED:
+                    seconds = device.time_for_cost(
+                        cost, step.op.type, step.member.double_precision
+                    )
+                else:
+                    seconds = 0.0
+            except BaseException:
+                resource.release(request)
+                raise
+            if seconds > 0.0:
+                if cost.host_bytes > 0:
+                    gil = task.gil
+                    gil_req = gil.request()
+                    yield gil_req
+                    try:
+                        yield env.timeout(seconds)
+                    finally:
+                        gil.release(gil_req)
+                else:
+                    yield env.timeout(seconds)
+            resource.release(request)
+            vals[pos] = outputs
+            if pos == last:
+                item.out_values = outputs
+                register(item, outputs)
+            else:
+                step.member.out_values = outputs
+                register(step.member, outputs)
+            for ref in step.consumes:
+                consume(ref[0], ref[1])
+            if trace:
+                _record_member(state, step.member, start, env.now, outputs)
+
+    return run
+
+
+def _make_compute(chain: CompiledChain):
+    """The interpreted uncontended evaluator (default mode).
+
+    Runs every member kernel back to back with zero simulator
+    interaction; the executor's merged path charges the summed seconds as
+    one timeout and performs the bookkeeping afterwards. Pure kernels
+    make this safe to abandon: on any kernel error the caller falls back
+    to the per-member path, which re-runs the kernels and surfaces the
+    error at the exact simulated instant the unfused plan would.
+    """
+    steps = chain.steps
+
+    def compute(ext, ctx, device):
+        vals: list = [None] * len(steps)
+        seconds: list = [0.0] * len(steps)
+        host = 0
+        for pos, step in enumerate(steps):
+            inputs = [
+                ext[t[1]] if t[0] == "x" else vals[t[1]][t[2]]
+                for t in step.spec
+            ]
+            outputs, cost = step.kernel(step.op, inputs, ctx)
+            vals[pos] = outputs
+            if cost.kind in _TIMED:
+                s = device.time_for_cost(
+                    cost, step.op.type, step.member.double_precision
+                )
+                seconds[pos] = s
+                if s > 0.0:
+                    host += cost.host_bytes
+        return vals, seconds, host
+
+    return compute
+
+
+# ---------------------------------------------------------------------------
+# generated-source mode
+# ---------------------------------------------------------------------------
+
+def _compile_compute_source(chain: CompiledChain):
+    """Unroll :func:`_make_compute` into generated straight-line source.
+
+    The emitted function calls the same registry kernels in the same
+    order — member constants (op type, double precision, input wiring)
+    are inlined instead of read per step.
+    """
+    steps = chain.steps
+    lines = [
+        "def compute(ext, ctx, device):",
+        "    host = 0",
+    ]
+    emit = lines.append
+    n_ext = sum(1 for s in steps for t in s.spec if t[0] == "x")
+    for k in range(n_ext):
+        emit(f"    x{k} = ext[{k}]")
+    for pos, step in enumerate(steps):
+        emit(f"    # member {pos}: {step.op.type} {step.op.name!r}")
+        args = ", ".join(
+            f"x{t[1]}" if t[0] == "x" else f"v{t[1]}[{t[2]}]"
+            for t in step.spec
+        )
+        emit(f"    v{pos}, cost = S[{pos}].kernel(S[{pos}].op, [{args}], ctx)")
+        emit("    if cost.kind in TIMED:")
+        emit(
+            f"        s{pos} = device.time_for_cost(cost, {step.op.type!r}, "
+            f"{step.member.double_precision!r})"
+        )
+        emit(f"        if s{pos} > 0.0:")
+        emit("            host += cost.host_bytes")
+        emit("    else:")
+        emit(f"        s{pos} = 0.0")
+    n = len(steps)
+    vals = ", ".join(f"v{p}" for p in range(n))
+    secs = ", ".join(f"s{p}" for p in range(n))
+    emit(f"    return [{vals}], [{secs}], host")
+    source = "\n".join(lines) + "\n"
+    namespace = {"S": steps, "TIMED": _TIMED}
+    exec(compile(source, "<kernel-fusion chain>", "exec"), namespace)
+    return namespace["compute"], source
+
+
+# ---------------------------------------------------------------------------
+# the pass
+# ---------------------------------------------------------------------------
+
+def _member_eligible(item: Item) -> bool:
+    """Whether an item may appear inside a chain at all."""
+    if item.kind != "op":
+        return False
+    op_type = item.op.type
+    return (
+        kernel_registry.is_pure(op_type)
+        and not kernel_registry.is_stateful(op_type)
+        and not kernel_registry.is_graph_only(op_type)
+        and kernel_registry.has_kernel(op_type)
+        # No-hold ops skip the device FIFO entirely in the light lane; a
+        # chain member always claims the device, so keep them out.
+        and op_type not in _NO_DEVICE_HOLD
+    )
+
+
+def fuse_kernel_chains(items: list, fetch_sources: list, *,
+                       codegen: bool = False, multi_consumer: bool = True):
+    """Fuse maximal pure-op chains in a lowered plan.
+
+    Runs after transfer coalescing, before consumer counts and the
+    dependency graph are computed. Returns ``(items, fetch_sources,
+    PassStats)`` with each chain replaced — at its head's position — by
+    one ``kind="fused"`` item, and every reference to a chain *tail*
+    (sources, control deps, fetches) rewired to the fused item.
+    References to mid-chain members survive untouched: the runner
+    publishes member outputs under the member items themselves
+    (``multi_consumer=True`` only; the legacy lane fuses sole-consumer
+    runs where no such references exist).
+    """
+    before = len(items)
+
+    # Plan-order positions, used by the fast path's runner to interleave
+    # mid-chain notifications exactly as the unfused ready list would.
+    for order, it in enumerate(items):
+        it.order = order
+
+    # ---- who observes each item -------------------------------------------
+    value_consumers: dict[int, list] = {}
+    control_consumers: set[int] = set()
+    fetched: set[int] = set()
+    for it in items:
+        for src in it.sources:
+            if src[0] is not FEED:
+                value_consumers.setdefault(src[0].uid, []).append(it)
+        for dep in it.extra_deps:
+            control_consumers.add(dep.uid)
+    for src in fetch_sources:
+        if src[0] is not FEED:
+            fetched.add(src[0].uid)
+
+    # ---- transitive-producer sets (memoized, iterative) ---------------------
+    anc_cache: dict[int, frozenset] = {}
+
+    def producers_of(it: Item) -> list:
+        out = [src[0] for src in it.sources if src[0] is not FEED]
+        out.extend(it.extra_deps)
+        return out
+
+    def ancestors(root: Item) -> frozenset:
+        cached = anc_cache.get(root.uid)
+        if cached is not None:
+            return cached
+        stack = [(root, iter(producers_of(root)))]
+        on_stack = {root.uid}
+        while stack:
+            node, pending = stack[-1]
+            advanced = False
+            for prod in pending:
+                if prod.uid in anc_cache or prod.uid in on_stack:
+                    continue
+                stack.append((prod, iter(producers_of(prod))))
+                on_stack.add(prod.uid)
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_stack.discard(node.uid)
+                acc: set[int] = set()
+                for prod in producers_of(node):
+                    acc.add(prod.uid)
+                    acc.update(anc_cache.get(prod.uid, ()))
+                anc_cache[node.uid] = frozenset(acc)
+        return anc_cache[root.uid]
+
+    # ---- chain formation (greedy forward, plan order) ----------------------
+    claimed: set[int] = set()
+
+    def extendable(tail: Item, cand: Item) -> bool:
+        """Whether ``cand`` may legally follow ``tail`` in a chain."""
+        if (
+            cand.uid in claimed
+            or not _member_eligible(cand)
+            or cand.device != tail.device
+        ):
+            return False
+        anc = None
+        for producer in producers_of(cand):
+            if producer is tail:
+                continue
+            if anc is None:
+                anc = ancestors(tail)
+            if producer.uid not in anc:
+                return False
+        return True
+
+    def next_member(tail: Item) -> Optional[Item]:
+        consumers = value_consumers.get(tail.uid)
+        if not consumers:
+            return None
+        if not multi_consumer:
+            # Legacy lane: the tail must be observed by nobody but the
+            # candidate — single distinct value consumer, no control
+            # consumers, not fetched, and the candidate must carry no
+            # control deps of its own (there is no mid-chain hook to
+            # publish from).
+            if tail.uid in fetched or tail.uid in control_consumers:
+                return None
+            cand = consumers[0]
+            for other in consumers[1:]:
+                if other is not cand:
+                    return None
+            if cand.extra_deps:
+                return None
+            return cand if extendable(tail, cand) else None
+        seen: set[int] = set()
+        for cand in consumers:
+            if cand.uid in seen:
+                continue
+            seen.add(cand.uid)
+            if extendable(tail, cand):
+                return cand
+        return None
+
+    chains: list[list[Item]] = []
+    for it in items:
+        if it.uid in claimed or not _member_eligible(it):
+            continue
+        chain = [it]
+        claimed.add(it.uid)
+        while True:
+            nxt = next_member(chain[-1])
+            if nxt is None:
+                break
+            chain.append(nxt)
+            claimed.add(nxt.uid)
+        if len(chain) >= 2:
+            chains.append(chain)
+        else:
+            claimed.discard(it.uid)
+
+    stats = PassStats(
+        name="kernel_fusion",
+        nodes_before=before,
+        nodes_after=before,
+        detail={"chains": 0, "fused_ops": 0, "longest_chain": 0,
+                "codegen": codegen},
+    )
+    if not chains:
+        return items, fetch_sources, stats
+
+    # ---- fused-item shells + tail remap ------------------------------------
+    uid_counter = max(it.uid for it in items) + 1
+    remap: dict[int, Item] = {}  # tail uid -> fused item
+    head_fused: dict[int, Item] = {}  # head uid -> fused item
+    member_uids: set[int] = set()
+    shells: list[tuple[Item, list[Item]]] = []
+    for chain in chains:
+        fused = Item(uid=uid_counter, kind="fused", device=chain[0].device)
+        fused.order = chain[0].order  # the chain sits at its head's slot
+        uid_counter += 1
+        remap[chain[-1].uid] = fused
+        head_fused[chain[0].uid] = fused
+        member_uids.update(m.uid for m in chain)
+        shells.append((fused, chain))
+
+    def canonical(producer: Item) -> Item:
+        return remap.get(producer.uid, producer)
+
+    # ---- compile each chain ------------------------------------------------
+    longest = 0
+    fused_ops = 0
+    for fused, chain in shells:
+        pos_of = {m.uid: p for p, m in enumerate(chain)}
+        sources: list = []
+        steps: list[_MemberStep] = []
+        for pos, member in enumerate(chain):
+            spec: list = []
+            consumes: list = []
+            for src in member.sources:
+                producer = src[0]
+                if producer is not FEED and producer.uid in pos_of:
+                    spec.append(("v", pos_of[producer.uid], src[1]))
+                    consumes.append((producer, src[1]))
+                elif producer is FEED:
+                    spec.append(("x", len(sources)))
+                    sources.append(src)
+                else:
+                    producer = canonical(producer)
+                    spec.append(("x", len(sources)))
+                    sources.append((producer, src[1]))
+                    consumes.append((producer, src[1]))
+            steps.append(_MemberStep(
+                member=member,
+                op=member.op,
+                kernel=kernel_registry.get_kernel(member.op.type),
+                spec=tuple(spec),
+                consumes=tuple(consumes),
+                inline=kernel_registry.is_inline(member.op.type),
+                next_order=(
+                    chain[pos + 1].order if pos + 1 < len(chain) else None
+                ),
+            ))
+        # Mid-member refcounts: seed each member's counts with the next
+        # member's source occurrences; build_plan's counting loop then adds
+        # any external references (they resolve through the member object)
+        # and fetches on top. Outputs nobody reads free the instant they
+        # are produced — exactly the unfused dead-output behaviour.
+        for pos, member in enumerate(chain[:-1]):
+            counts = [0] * len(member.op.outputs)
+            for src in chain[pos + 1].sources:
+                if src[0] is member:
+                    counts[src[1]] += 1
+            member.consumer_counts = counts
+        seen_deps: set[int] = set()
+        deps: list = []
+        for dep in chain[0].extra_deps:
+            dep = canonical(dep)
+            if dep.uid not in seen_deps:
+                seen_deps.add(dep.uid)
+                deps.append(dep)
+        fused.sources = sources
+        fused.extra_deps = deps
+        fused.compiled = CompiledChain(
+            tuple(steps), len(chain[-1].op.outputs), codegen=codegen
+        )
+        longest = max(longest, len(chain))
+        fused_ops += len(chain)
+
+    # ---- rebuild the item list, rewiring tail references --------------------
+    out_items: list[Item] = []
+    for it in items:
+        fused = head_fused.get(it.uid)
+        if fused is not None:
+            out_items.append(fused)  # the chain sits at its head's slot
+            continue
+        if it.uid in member_uids:
+            continue
+        for i, src in enumerate(it.sources):
+            if src[0] is not FEED and src[0].uid in remap:
+                it.sources[i] = (remap[src[0].uid], src[1])
+        if it.extra_deps:
+            seen_deps = set()
+            deps = []
+            for dep in it.extra_deps:
+                dep = canonical(dep)
+                if dep.uid not in seen_deps:
+                    seen_deps.add(dep.uid)
+                    deps.append(dep)
+            it.extra_deps = deps
+        out_items.append(it)
+
+    new_fetch = []
+    for src in fetch_sources:
+        if src[0] is not FEED and src[0].uid in remap:
+            new_fetch.append((remap[src[0].uid], src[1]))
+        else:
+            new_fetch.append(src)
+
+    stats.nodes_after = len(out_items)
+    stats.detail.update(
+        chains=len(chains), fused_ops=fused_ops, longest_chain=longest
+    )
+    return out_items, new_fetch, stats

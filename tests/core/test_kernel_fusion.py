@@ -1,0 +1,537 @@
+"""Compiled executor lane: plan-level kernel fusion.
+
+The contract under test is strict: with ``kernel_fusion`` on, fetch
+values AND simulated time must be byte-identical to the unfused plan —
+in both executor lanes, with and without generated-source compute, and
+whether chains run through the per-member cursor or the merged
+single-event path.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+import repro as tf
+import repro.core.executor as executor_mod
+from repro.core.metadata import RunMetadata
+from repro.core.optimizer import OptimizerOptions
+from repro.core.optimizer.kernel_fusion import fuse_kernel_chains
+from repro.core.partition import build_plan
+from repro.core.placement import Placer
+from repro.core.session import SessionConfig
+
+
+def make_placer(gpus: int = 1):
+    return Placer(
+        {("localhost", 0): {"cpu": 1, "gpu": gpus}},
+        default_job="localhost",
+        default_task=0,
+    )
+
+
+def fused_plan(graph, fetch_tensors=(), fetch_ops=(), gpus=1,
+               codegen=False, fast_path=True, kernel_fusion=True,
+               feeds=None):
+    options = OptimizerOptions(
+        kernel_fusion=kernel_fusion, kernel_fusion_codegen=codegen
+    )
+    return build_plan(
+        graph,
+        list(fetch_ops),
+        list(fetch_tensors),
+        feeds or {},
+        make_placer(gpus),
+        client_device="/job:localhost/task:0/device:cpu:0",
+        run_id=1,
+        optimizer_options=options,
+        fast_path=fast_path,
+    )
+
+
+def fused_items(plan):
+    return [i for i in plan.items if i.kind == "fused"]
+
+
+def member_names(item):
+    return [s.member.op.name for s in item.compiled.steps]
+
+
+def fusion_config(kernel_fusion=True, codegen=False, fast_path=True,
+                  shape_only=False):
+    config = SessionConfig(shape_only=shape_only)
+    config.graph_optimization = True
+    config.executor_fast_path = fast_path
+    config.optimizer.kernel_fusion = kernel_fusion
+    config.optimizer.kernel_fusion_codegen = codegen
+    return config
+
+
+CHAIN_X = np.linspace(0.1, 1.0, 16, dtype=np.float32).reshape(4, 4)
+CHAIN_FEED = {"x:0": CHAIN_X}
+
+
+def chain_graph():
+    """A linear pure chain (everything downstream of the matmul fuses).
+
+    Fed through a placeholder so constant folding cannot collapse it
+    before the fusion pass runs.
+    """
+    g = tf.Graph()
+    with g.as_default():
+        x = tf.placeholder(tf.float32, (4, 4), name="x")
+        a = tf.matmul(x, x, name="mm")
+        b = tf.multiply(a, a, name="mul")
+        c = tf.add(b, b, name="add")
+        d = tf.exp(c, name="exp")
+    return g, d
+
+
+def run_session(graph, fetch, config, feed=None):
+    md = RunMetadata()
+    with tf.Session(graph=graph, config=config) as sess:
+        out = sess.run(fetch, feed_dict=feed or {}, run_metadata=md)
+    return out, md
+
+
+def run_chain(config):
+    """Run the canonical chain graph under ``config``."""
+    g, d = chain_graph()
+    return run_session(g, d, config, feed=CHAIN_FEED)
+
+
+# ---------------------------------------------------------------------------
+# chain formation
+# ---------------------------------------------------------------------------
+
+class TestChainFormation:
+    def test_linear_chain_fused(self):
+        g, d = chain_graph()
+        plan = fused_plan(g, fetch_tensors=[d], feeds=CHAIN_FEED)
+        chains = fused_items(plan)
+        assert len(chains) == 1
+        assert member_names(chains[0]) == ["mm", "mul", "add", "exp"]
+        assert plan.compiled_items == 1
+        assert plan.fused_op_count == 4
+
+    def test_pass_stats_detail(self):
+        g, d = chain_graph()
+        plan = fused_plan(g, fetch_tensors=[d], feeds=CHAIN_FEED)
+        stats = {s.name: s for s in plan.pass_stats}["kernel_fusion"]
+        assert stats.detail["chains"] == 1
+        assert stats.detail["fused_ops"] == 4
+        assert stats.detail["longest_chain"] == 4
+        assert stats.detail["codegen"] is False
+
+    def test_disabled_by_default(self):
+        g, d = chain_graph()
+        plan = build_plan(
+            g, [], [d], {}, make_placer(),
+            client_device="/job:localhost/task:0/device:cpu:0",
+            run_id=1, optimizer_options=OptimizerOptions(),
+        )
+        assert not fused_items(plan)
+        assert plan.compiled_items == 0
+
+    def test_fused_item_sits_at_head_slot(self):
+        # The fused item must occupy its head's plan position so initial
+        # ready-list order (and therefore device FIFO order) is unchanged.
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, (4, 4), name="x")
+            a = tf.exp(x, name="head")
+            b = tf.sqrt(a, name="tail")
+            y = tf.random_uniform([4, 4], name="rand")
+            out = tf.add(b, y, name="out")
+        plan = fused_plan(g, fetch_tensors=[out], feeds=CHAIN_FEED)
+        kinds = [i.kind for i in plan.items]
+        chains = fused_items(plan)
+        assert len(chains) == 1
+        # rand is an op created after head in the graph; the fused chain
+        # must still precede it in the plan just as head did.
+        names = [getattr(i.op, "name", None) or i.kind for i in plan.items]
+        assert names.index("fused") < names.index("rand")
+        assert kinds.count("fused") == 1
+
+
+class TestChainLegality:
+    def test_stateful_breaks_chain(self):
+        g = tf.Graph()
+        with g.as_default():
+            v = tf.Variable(np.ones(4, np.float32), name="v")
+            x = tf.placeholder(tf.float32, (4,), name="x")
+            a = tf.multiply(v.value(), x, name="mul")
+            assign = tf.assign(v, a, name="assign")
+            b = tf.add(assign, 1.0, name="add")
+        plan = fused_plan(g, fetch_tensors=[b], fetch_ops=[assign.op],
+                          feeds={"x:0": np.ones(4, np.float32)})
+        for item in fused_items(plan):
+            assert "assign" not in member_names(item)
+            assert "v" not in member_names(item)
+
+    def test_random_op_not_fused(self):
+        # RandomUniform is registered non-pure: re-running it inside a
+        # compiled chain would draw fresh randomness.
+        g = tf.Graph()
+        with g.as_default():
+            r = tf.random_uniform([8], name="rand")
+            a = tf.exp(r, name="exp")
+            b = tf.sqrt(a, name="log")
+        plan = fused_plan(g, fetch_tensors=[b])
+        for item in fused_items(plan):
+            assert "rand" not in member_names(item)
+
+    def test_cross_device_breaks_chain(self):
+        g = tf.Graph()
+        with g.as_default():
+            with tf.device("/device:gpu:0"):
+                x = tf.placeholder(tf.float32, (4, 4), name="x")
+                a = tf.exp(x, name="on_gpu")
+                a2 = tf.negative(a, name="on_gpu2")
+            with tf.device("/device:cpu:0"):
+                b = tf.sqrt(a2, name="on_cpu")
+                c = tf.add(b, 1.0, name="add_cpu")
+        plan = fused_plan(g, fetch_tensors=[c], feeds=CHAIN_FEED)
+        for item in fused_items(plan):
+            names = member_names(item)
+            assert not (
+                ("on_gpu" in names or "on_gpu2" in names)
+                and ("on_cpu" in names or "add_cpu" in names)
+            )
+
+    def test_side_input_must_be_ancestor_of_tail(self):
+        # mul reads a const that is NOT upstream of mm, so [mm, mul]
+        # would make the fused item ready later than mm was — illegal.
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, (4, 4), name="x")
+            a = tf.matmul(x, x, name="mm")
+            b = tf.multiply(a, 0.5, name="mul")
+            c = tf.add(b, 1.0, name="add")
+            d = tf.exp(c, name="exp")
+        plan = fused_plan(g, fetch_tensors=[d], feeds=CHAIN_FEED)
+        chains = fused_items(plan)
+        assert len(chains) == 1
+        # Only the suffix whose side inputs are all chain-internal or
+        # upstream of the running tail may fuse.
+        assert member_names(chains[0]) == ["add", "exp"]
+
+    def test_legacy_lane_requires_sole_consumer(self):
+        # mid-chain output observed by an external op: fast-path plans
+        # fuse through it (the cursor publishes member outputs), legacy
+        # plans must break the chain there.
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, (4, 4), name="x")
+            a = tf.exp(x, name="a")
+            b = tf.sqrt(a, name="b")
+            c = tf.negative(b, name="c")
+            observer = tf.add(b, 1.0, name="observer")
+            out = tf.add(c, observer, name="out")
+        fast = fused_plan(g, fetch_tensors=[out], fast_path=True,
+                          feeds=CHAIN_FEED)
+        legacy = fused_plan(g, fetch_tensors=[out], fast_path=False,
+                            feeds=CHAIN_FEED)
+        fast_members = [member_names(i) for i in fused_items(fast)]
+        assert ["a", "b", "c"] in fast_members
+        for names in (member_names(i) for i in fused_items(legacy)):
+            # b has two consumers: no legacy chain may continue past it.
+            assert names.index("b") == len(names) - 1 if "b" in names \
+                else True
+
+
+# ---------------------------------------------------------------------------
+# execution equivalence: values and simulated time
+# ---------------------------------------------------------------------------
+
+LANES = [
+    pytest.param(True, False, id="fast-interpreted"),
+    pytest.param(True, True, id="fast-codegen"),
+    pytest.param(False, False, id="legacy-interpreted"),
+    pytest.param(False, True, id="legacy-codegen"),
+]
+
+
+class TestExecutionEquivalence:
+    @pytest.mark.parametrize("fast_path,codegen", LANES)
+    def test_linear_chain_identical(self, fast_path, codegen):
+        base, base_md = run_chain(
+            fusion_config(kernel_fusion=False, fast_path=fast_path))
+        out, md = run_chain(
+            fusion_config(codegen=codegen, fast_path=fast_path))
+        assert out.tobytes() == base.tobytes()
+        assert md.end_time == base_md.end_time
+        assert md.compiled_items == 1 and md.fused_op_count == 4
+        assert base_md.compiled_items == 0
+
+    @pytest.mark.parametrize("fast_path,codegen", LANES)
+    def test_multi_consumer_graph_identical(self, fast_path, codegen):
+        # Mid-chain outputs observed externally plus a fetched mid value.
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, (3, 4), name="x")
+            a = tf.exp(x, name="a")
+            b = tf.multiply(a, a, name="b")
+            c = tf.add(b, 1.0, name="c")
+            side = tf.negative(b, name="side")
+            out = tf.add(c, side, name="out")
+        fetches = [out, b]
+        feed = {"x:0": np.linspace(-1.0, 1.0, 12, dtype=np.float32)
+                .reshape(3, 4)}
+        base, base_md = run_session(
+            g, fetches, fusion_config(kernel_fusion=False,
+                                      fast_path=fast_path), feed=feed)
+        got, md = run_session(
+            g, fetches, fusion_config(codegen=codegen,
+                                      fast_path=fast_path), feed=feed)
+        for lhs, rhs in zip(got, base):
+            assert np.asarray(lhs).tobytes() == np.asarray(rhs).tobytes()
+        assert md.end_time == base_md.end_time
+
+    def test_control_dep_consumer_identical(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, (8,), name="x")
+            a = tf.exp(x, name="a")
+            b = tf.sqrt(a, name="b")
+            with g.control_dependencies([b.op]):
+                gated = tf.constant(np.float32(7.0), name="gated")
+            out = tf.add(b, gated, name="out")
+        feed = {"x:0": np.ones(8, np.float32)}
+        base, base_md = run_session(
+            g, out, fusion_config(kernel_fusion=False), feed=feed)
+        got, md = run_session(g, out, fusion_config(), feed=feed)
+        assert got.tobytes() == base.tobytes()
+        assert md.end_time == base_md.end_time
+
+    def test_feeds_into_chain_identical(self):
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, (4, 4), name="x")
+            a = tf.matmul(x, x, name="mm")
+            b = tf.exp(a, name="exp")
+            c = tf.sqrt(b, name="log")
+        feed = {"x:0": np.linspace(0.5, 2.0, 16, dtype=np.float32)
+                .reshape(4, 4)}
+        base, base_md = run_session(g, c,
+                                    fusion_config(kernel_fusion=False),
+                                    feed=feed)
+        got, md = run_session(g, c, fusion_config(), feed=feed)
+        assert got.tobytes() == base.tobytes()
+        assert md.end_time == base_md.end_time
+
+    def test_kernel_error_surfaces_identically(self):
+        # Shapes left open so the bad matmul is only discovered by the
+        # kernel at execution time — inside a compiled chain when fused.
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, None, name="x")
+            a = tf.matmul(x, x, name="bad_mm")
+            b = tf.exp(a, name="exp")
+        feed = {"x:0": np.ones((2, 3), np.float32)}  # 2x3 @ 2x3: invalid
+        errors = {}
+        for kf in (False, True):
+            with pytest.raises(Exception) as info:
+                run_session(g, b, fusion_config(kernel_fusion=kf),
+                            feed=feed)
+            errors[kf] = type(info.value)
+        assert errors[True] is errors[False]
+
+
+# ---------------------------------------------------------------------------
+# merged single-event path
+# ---------------------------------------------------------------------------
+
+class TestMergedPath:
+    def test_merged_fires_on_quiesced_device(self):
+        base, base_md = run_chain(fusion_config(kernel_fusion=False))
+        got, md = run_chain(fusion_config())
+        assert md.merged_chains == 1
+        assert got.tobytes() == base.tobytes()
+        assert md.end_time == base_md.end_time
+
+    def test_merged_counter_zero_when_disabled(self):
+        _, md = run_chain(fusion_config(kernel_fusion=False))
+        assert md.merged_chains == 0
+
+    def test_plan_blockers_cover_fifo_capable_items(self):
+        g, d = chain_graph()
+        plan = fused_plan(g, fetch_tensors=[d], feeds=CHAIN_FEED)
+        [fused] = fused_items(plan)
+        assert fused.compiled.mergeable is True
+        assert fused.uid in plan.chain_blockers
+        # Every counted blocker is reachable via some item's unblocks.
+        counted = sum(
+            1 for it in plan.items
+            if it.unblocks and fused.uid in it.unblocks
+        )
+        assert counted == plan.chain_blockers[fused.uid]
+
+    def test_concurrent_device_work_falls_back_to_cursor(self):
+        # Two independent chains on one device: whichever dispatches
+        # second sees the first still in flight and must not merge
+        # unless its blockers have drained. Either way the results and
+        # clock must match the unfused run exactly.
+        g = tf.Graph()
+        with g.as_default():
+            x = tf.placeholder(tf.float32, (8, 8), name="x")
+            a1 = tf.matmul(x, x, name="mm1")
+            b1 = tf.exp(a1, name="exp1")
+            a2 = tf.matmul(x, x, name="mm2")
+            b2 = tf.sqrt(tf.add(a2, 1.0, name="add2"), name="log2")
+            out = tf.add(b1, b2, name="out")
+        feed = {"x:0": np.full((8, 8), 0.25, np.float32)}
+        base, base_md = run_session(
+            g, out, fusion_config(kernel_fusion=False), feed=feed)
+        got, md = run_session(g, out, fusion_config(), feed=feed)
+        assert got.tobytes() == base.tobytes()
+        assert md.end_time == base_md.end_time
+        assert md.compiled_items >= 1
+
+    def test_fault_injection_disables_merged_path(self):
+        # With an injector installed the dispatcher must use the cursor
+        # (it re-checks task liveness before every member) even though
+        # no fault ever fires.
+        from repro.apps.common import build_cluster, task_device
+        from repro.simnet.faults import FaultPlan
+
+        def run(with_injector, kernel_fusion=True):
+            handle = build_cluster("tegner-k420", {"worker": 1})
+            g = tf.Graph()
+            with g.as_default():
+                with g.device(task_device("worker", 0, "cpu", 0)):
+                    x = tf.placeholder(tf.float32, (4, 4), name="x")
+                    a = tf.matmul(x, x, name="mm")
+                    b = tf.exp(a, name="exp")
+                    c = tf.sqrt(b, name="sqrt")
+            if with_injector:
+                tf.FaultInjector(FaultPlan()).install(handle.machine)
+            config = fusion_config(kernel_fusion=kernel_fusion)
+            md = RunMetadata()
+            sess = tf.Session(handle.server("worker", 0), graph=g,
+                              config=config)
+            out = sess.run(c, feed_dict=CHAIN_FEED, run_metadata=md)
+            return out, md
+
+        base, base_md = run(False, kernel_fusion=False)
+        fused, fused_md = run(False)
+        faulty, faulty_md = run(True)
+        assert faulty_md.merged_chains == 0  # cursor under injection
+        assert fused_md.compiled_items == faulty_md.compiled_items >= 1
+        assert faulty.tobytes() == fused.tobytes() == base.tobytes()
+        assert faulty_md.end_time == fused_md.end_time == base_md.end_time
+
+
+# ---------------------------------------------------------------------------
+# codegen mode
+# ---------------------------------------------------------------------------
+
+class TestCodegen:
+    def test_source_attached_and_interpreted_parity(self):
+        g, d = chain_graph()
+        plain = fused_plan(g, fetch_tensors=[d], codegen=False)
+        gen = fused_plan(g, fetch_tensors=[d], codegen=True)
+        [pc] = fused_items(plain)
+        [gc_item] = fused_items(gen)
+        assert pc.compiled.source is None
+        src = gc_item.compiled.source
+        assert src is not None and src.startswith("def compute(")
+        # One kernel call per member, with the member op types inlined
+        # as comments in chain order.
+        for pos, step in enumerate(gc_item.compiled.steps):
+            assert f"# member {pos}: {step.op.type}" in src
+        stats = {s.name: s for s in gen.pass_stats}["kernel_fusion"]
+        assert stats.detail["codegen"] is True
+
+    def test_codegen_values_match_interpreted(self):
+        interp, md_i = run_chain(fusion_config(codegen=False))
+        gen, md_g = run_chain(fusion_config(codegen=True))
+        assert gen.tobytes() == interp.tobytes()
+        assert md_g.end_time == md_i.end_time
+        assert md_g.merged_chains == md_i.merged_chains == 1
+
+
+# ---------------------------------------------------------------------------
+# verifier integration
+# ---------------------------------------------------------------------------
+
+class TestVerifier:
+    def test_fused_plan_passes_verifier(self):
+        from repro.analysis.plan_verifier import verify_plan
+
+        g, d = chain_graph()
+        plan = fused_plan(g, fetch_tensors=[d], feeds=CHAIN_FEED)
+        report = verify_plan(plan)
+        assert not report.errors
+
+    def test_short_chain_rejected(self):
+        from repro.analysis.plan_verifier import verify_plan
+
+        g, d = chain_graph()
+        plan = fused_plan(g, fetch_tensors=[d], feeds=CHAIN_FEED)
+        [fused] = fused_items(plan)
+        chain = fused.compiled
+        chain.steps = chain.steps[:1]  # corrupt: single-member chain
+        report = verify_plan(plan)
+        assert any("fused" in f.rule for f in report.errors)
+
+
+# ---------------------------------------------------------------------------
+# registry-derived inline dispatch (executor._INLINE_OPS)
+# ---------------------------------------------------------------------------
+
+class TestInlineOpsRegistryView:
+    def test_view_agrees_with_registry_for_every_op(self):
+        from repro.core.kernels import registry
+
+        for op_type in registry.registered_op_types():
+            assert (op_type in executor_mod._INLINE_OPS) == \
+                registry.is_inline(op_type), op_type
+
+    def test_historic_inline_set_unchanged(self):
+        # The registry flags must reproduce the executor's original
+        # hard-coded zero-duration set exactly — growing it silently
+        # would change device FIFO behaviour for the new op.
+        from repro.core.kernels import registry
+
+        assert registry.inline_op_types() == frozenset({
+            "Const", "ExpandDims", "Identity", "NoOp", "Placeholder",
+            "Reshape", "Squeeze", "VariableV2",
+        })
+
+    def test_non_strings_never_match(self):
+        assert None not in executor_mod._INLINE_OPS
+        assert 42 not in executor_mod._INLINE_OPS
+
+    def test_inline_ops_have_plain_zero_cost_kernels(self):
+        import inspect as _inspect
+
+        from repro.core.kernels import registry
+
+        for op_type in registry.inline_op_types():
+            assert registry.has_kernel(op_type), op_type
+            assert not registry.is_graph_only(op_type), op_type
+            kernel = registry.get_kernel(op_type)
+            assert not _inspect.isgeneratorfunction(kernel), op_type
+
+
+# ---------------------------------------------------------------------------
+# metadata accounting
+# ---------------------------------------------------------------------------
+
+class TestMetadata:
+    def test_counters_roundtrip(self):
+        _, md = run_chain(fusion_config())
+        assert md.compiled_items == 1
+        assert md.fused_op_count == 4
+        assert md.merged_chains == 1
+        # The plan schedules the chain as one item.
+        assert md.plan_items < md.plan_items + md.fused_op_count
+
+    def test_fast_path_items_count_members(self):
+        # Each member completing still counts one fast-path item, so the
+        # accounting matches the unfused run.
+        _, base_md = run_chain(fusion_config(kernel_fusion=False))
+        _, md = run_chain(fusion_config())
+        assert md.fast_path_items == base_md.fast_path_items
